@@ -1,0 +1,75 @@
+// Ablation 2: embedded CPU provisioning. Section 5: "the CPU quickly
+// became a bottleneck ... The next step must be to add in more hardware
+// (CPU, SRAM and DRAM) so that the DBMS code can run more effectively
+// inside the SSD." We sweep embedded core count and clock and report
+// the Q6 pushdown speedup; once the CPU stops binding, the speedup
+// saturates at the internal-bandwidth bound (2.8x for this device),
+// after which only more DRAM bandwidth helps (ablation 1).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+using namespace smartssd;
+
+namespace {
+constexpr double kScaleFactor = 0.05;
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: embedded cores/clock vs Q6 pushdown speedup",
+      "the Section 5 'CPU quickly became a bottleneck' discussion");
+
+  engine::Database ssd_db(engine::DatabaseOptions::PaperSsd());
+  bench::Unwrap(tpch::LoadLineitem(ssd_db, "lineitem", kScaleFactor,
+                                   storage::PageLayout::kNsm),
+                "load (SSD)");
+  ssd_db.ResetForColdRun();
+  engine::QueryExecutor ssd_executor(&ssd_db);
+  auto host_run = bench::Unwrap(
+      ssd_executor.Execute(tpch::Q6Spec("lineitem"),
+                           engine::ExecutionTarget::kHost),
+      "host Q6");
+  const double host_seconds = host_run.stats.elapsed_seconds();
+
+  std::printf("%-8s %10s %16s %14s %10s\n", "cores", "clock MHz",
+              "device Gcyc/s", "Q6 smart (s)", "speedup");
+  bench::PrintRule();
+  struct Point {
+    int cores;
+    std::uint64_t mhz;
+  };
+  for (const Point point : {Point{1, 400}, Point{2, 400}, Point{3, 400},
+                            Point{6, 400}, Point{3, 800}, Point{6, 800},
+                            Point{12, 1200}}) {
+    engine::DatabaseOptions options =
+        engine::DatabaseOptions::PaperSmartSsd();
+    options.ssd.embedded_cpu.cores = point.cores;
+    options.ssd.embedded_cpu.clock_hz = point.mhz * 1'000'000ull;
+    engine::Database smart_db(options);
+    bench::Unwrap(tpch::LoadLineitem(smart_db, "lineitem", kScaleFactor,
+                                     storage::PageLayout::kPax),
+                  "load (Smart)");
+    smart_db.ResetForColdRun();
+    engine::QueryExecutor executor(&smart_db);
+    auto run = bench::Unwrap(
+        executor.Execute(tpch::Q6Spec("lineitem"),
+                         engine::ExecutionTarget::kSmartSsd),
+        "smart Q6");
+    const double smart_seconds = run.stats.elapsed_seconds();
+    std::printf("%-8d %10llu %15.2f %13.4f %9.2fx\n", point.cores,
+                static_cast<unsigned long long>(point.mhz),
+                point.cores * point.mhz / 1000.0, smart_seconds,
+                host_seconds / smart_seconds);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape check: speedup grows with compute until it hits the 2.8x "
+      "internal-bandwidth bound of Table 2.\n");
+  return 0;
+}

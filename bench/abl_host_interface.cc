@@ -1,0 +1,83 @@
+// Ablation 4: the host interface generation. Figure 1's argument cuts
+// both ways — pushdown pays off because the link is slow relative to
+// the internal path. We sweep the interface standard at fixed internals
+// and embedded CPU: as the link catches up (SAS 12G, PCIe), the host
+// path accelerates and the 2013 device's pushdown advantage shrinks and
+// inverts, unless the device hardware grows with it.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+using namespace smartssd;
+
+namespace {
+constexpr double kScaleFactor = 0.05;
+
+struct Point {
+  const char* label;
+  ssd::HostInterfaceStandard standard;
+};
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: host interface generation vs Q6 pushdown benefit",
+      "the Figure 1 bandwidth-trend argument, inverted");
+
+  const Point points[] = {
+      {"SATA 3Gb/s (~275 MB/s)", ssd::HostInterfaceStandard::kSata3g},
+      {"SAS 6Gb/s (~550 MB/s, paper)", ssd::HostInterfaceStandard::kSas6g},
+      {"SAS 12Gb/s (~1100 MB/s)", ssd::HostInterfaceStandard::kSas12g},
+      {"PCIe3 x4 (~3200 MB/s)", ssd::HostInterfaceStandard::kPcie3x4},
+  };
+
+  std::printf("%-30s %14s %14s %10s\n", "host interface", "host Q6 (s)",
+              "smart Q6 (s)", "speedup");
+  bench::PrintRule();
+  for (const Point& point : points) {
+    engine::DatabaseOptions ssd_options =
+        engine::DatabaseOptions::PaperSsd();
+    ssd_options.ssd.host_interface.standard = point.standard;
+    engine::Database ssd_db(ssd_options);
+    bench::Unwrap(tpch::LoadLineitem(ssd_db, "lineitem", kScaleFactor,
+                                     storage::PageLayout::kNsm),
+                  "load (SSD)");
+    ssd_db.ResetForColdRun();
+    engine::QueryExecutor ssd_executor(&ssd_db);
+    auto host_run = bench::Unwrap(
+        ssd_executor.Execute(tpch::Q6Spec("lineitem"),
+                             engine::ExecutionTarget::kHost),
+        "host Q6");
+
+    engine::DatabaseOptions smart_options =
+        engine::DatabaseOptions::PaperSmartSsd();
+    smart_options.ssd.host_interface.standard = point.standard;
+    engine::Database smart_db(smart_options);
+    bench::Unwrap(tpch::LoadLineitem(smart_db, "lineitem", kScaleFactor,
+                                     storage::PageLayout::kPax),
+                  "load (Smart)");
+    smart_db.ResetForColdRun();
+    engine::QueryExecutor smart_executor(&smart_db);
+    auto smart_run = bench::Unwrap(
+        smart_executor.Execute(tpch::Q6Spec("lineitem"),
+                               engine::ExecutionTarget::kSmartSsd),
+        "smart Q6");
+
+    std::printf("%-30s %13.4f %14.4f %9.2fx\n", point.label,
+                host_run.stats.elapsed_seconds(),
+                smart_run.stats.elapsed_seconds(),
+                host_run.stats.elapsed_seconds() /
+                    smart_run.stats.elapsed_seconds());
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape check: pushdown benefit shrinks as the link catches up; at "
+      "PCIe rates the 2013-era embedded CPU loses outright — i.e. the "
+      "opportunity exists exactly while Figure 1's gap persists.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation 3: zone maps and data clustering — the "impact of various
+// storage layout" question Section 5 leaves open, answered with
+// per-page min/max statistics used as an in-SSD index. On a clustered
+// predicate column, pruning skips the non-matching pages before they
+// are read from flash; on a random column the statistics are useless.
+// We sweep selectivity on both a clustered and an unclustered table.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "expr/expression.h"
+#include "tpch/queries.h"
+#include "tpch/synthetic.h"
+
+using namespace smartssd;
+
+namespace {
+
+namespace ex = ::smartssd::expr;
+constexpr int kColumns = 16;
+constexpr std::uint64_t kRows = 400'000;
+
+// SUM over rows with Col_1 < limit: Col_1 = row+1 is the clustered
+// (load-ordered) column; a Col_3 predicate is the unclustered control.
+exec::QuerySpec ClusteredSpec(double selectivity) {
+  exec::QuerySpec spec;
+  spec.name = "clustered";
+  spec.table = "T";
+  spec.predicate =
+      ex::Lt(ex::Col(0),
+             ex::Lit(static_cast<std::int64_t>(selectivity * kRows) + 1));
+  spec.aggregates.push_back({exec::AggSpec::Fn::kSum, ex::Col(2), "s"});
+  return spec;
+}
+
+struct Outcome {
+  double seconds;
+  std::uint64_t skipped;
+  std::uint64_t read;
+};
+
+Outcome Run(engine::Database& db, const exec::QuerySpec& spec) {
+  db.ResetForColdRun();
+  engine::QueryExecutor executor(&db);
+  auto result = bench::Unwrap(
+      executor.Execute(spec, engine::ExecutionTarget::kSmartSsd), "query");
+  return {result.stats.elapsed_seconds(), result.stats.pages_skipped,
+          result.stats.pages_read};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: zone-map pruning on clustered vs unclustered predicates "
+      "(pushdown path)",
+      "the Section 5 storage-layout discussion, as in-SSD indexing");
+
+  engine::Database with_map(engine::DatabaseOptions::PaperSmartSsd());
+  bench::Unwrap(tpch::LoadSyntheticS(with_map, "T", kColumns, kRows, 1000,
+                                     storage::PageLayout::kPax),
+                "load");
+  bench::Check(with_map.BuildZoneMap("T"), "build zone map");
+
+  engine::Database without_map(engine::DatabaseOptions::PaperSmartSsd());
+  bench::Unwrap(tpch::LoadSyntheticS(without_map, "T", kColumns, kRows,
+                                     1000, storage::PageLayout::kPax),
+                "load");
+
+  std::printf("%-12s %16s %16s %12s %10s\n", "selectivity",
+              "no zone map (s)", "zone map (s)", "pages skip",
+              "speedup");
+  bench::PrintRule();
+  for (const double sel : {0.01, 0.1, 0.25, 0.5, 1.0}) {
+    const Outcome plain = Run(without_map, ClusteredSpec(sel));
+    const Outcome pruned = Run(with_map, ClusteredSpec(sel));
+    std::printf("%10.0f%% %15.4f %16.4f %12llu %9.2fx\n", sel * 100,
+                plain.seconds, pruned.seconds,
+                static_cast<unsigned long long>(pruned.skipped),
+                plain.seconds / pruned.seconds);
+  }
+  bench::PrintRule();
+  // Control: unclustered predicate — statistics can prune nothing.
+  const Outcome control_plain =
+      Run(without_map, tpch::ScanQuerySpec("T", kColumns, 0.1, true));
+  const Outcome control_pruned =
+      Run(with_map, tpch::ScanQuerySpec("T", kColumns, 0.1, true));
+  std::printf(
+      "control (random Col_3 predicate, 10%%): %0.4f s vs %0.4f s, "
+      "%llu pages skipped\n",
+      control_plain.seconds, control_pruned.seconds,
+      static_cast<unsigned long long>(control_pruned.skipped));
+  std::printf(
+      "Shape check: pruning gain ~1/selectivity on the clustered "
+      "column, none on the random column.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef SMARTSSD_BENCH_BENCH_UTIL_H_
+#define SMARTSSD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure of the paper: it loads the workload at
+// a reduced scale factor, runs the measured configurations cold, and
+// prints measured (virtual-time) numbers next to the paper's. Virtual
+// time scales linearly with data volume, so ratios are scale-invariant
+// and an SF-100 projection is printed alongside.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+
+namespace smartssd::bench {
+
+// Aborts the bench with a message if `result` is an error; otherwise
+// returns the value. Benches are top-level tools, so failing fast with
+// the status text is the right behaviour.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace smartssd::bench
+
+#endif  // SMARTSSD_BENCH_BENCH_UTIL_H_

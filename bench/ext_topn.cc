@@ -1,0 +1,75 @@
+// Extension experiment: ORDER BY/LIMIT (top-N) pushdown. The s13
+// sweeps show row-returning scans losing their in-SSD advantage as
+// selectivity grows (result transfer + materialization); a top-N
+// operator restores it by collapsing the result to k rows inside the
+// device, whatever the selectivity.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/synthetic.h"
+
+using namespace smartssd;
+
+namespace {
+
+constexpr int kColumns = 32;
+constexpr std::uint64_t kRows = 300'000;
+
+double RunOnce(engine::Database& db, const exec::QuerySpec& spec,
+               engine::ExecutionTarget target, std::uint64_t* rows_out) {
+  db.ResetForColdRun();
+  engine::QueryExecutor executor(&db);
+  auto result = bench::Unwrap(executor.Execute(spec, target), "query");
+  *rows_out = result.row_count();
+  return result.stats.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Top-N pushdown vs plain row-returning scan — extension operator",
+      "the Section 5 future-work discussion");
+
+  engine::Database ssd_db(engine::DatabaseOptions::PaperSsd());
+  bench::Unwrap(tpch::LoadSyntheticS(ssd_db, "T", kColumns, kRows, 1000,
+                                     storage::PageLayout::kNsm),
+                "load (SSD)");
+  engine::Database smart_db(engine::DatabaseOptions::PaperSmartSsd());
+  bench::Unwrap(tpch::LoadSyntheticS(smart_db, "T", kColumns, kRows, 1000,
+                                     storage::PageLayout::kPax),
+                "load (Smart)");
+
+  std::printf("%-12s %22s %22s\n", "selectivity",
+              "plain rows: speedup", "ORDER BY LIMIT 100: speedup");
+  bench::PrintRule();
+  for (const double sel : {0.01, 0.1, 0.5, 1.0}) {
+    std::uint64_t rows = 0;
+    const double plain_host = RunOnce(
+        ssd_db, tpch::ScanQuerySpec("T", kColumns, sel, false, 3),
+        engine::ExecutionTarget::kHost, &rows);
+    const double plain_smart = RunOnce(
+        smart_db, tpch::ScanQuerySpec("T", kColumns, sel, false, 3),
+        engine::ExecutionTarget::kSmartSsd, &rows);
+    std::uint64_t topn_rows = 0;
+    const double topn_host =
+        RunOnce(ssd_db, tpch::TopNQuerySpec("T", kColumns, sel, 100),
+                engine::ExecutionTarget::kHost, &topn_rows);
+    const double topn_smart =
+        RunOnce(smart_db, tpch::TopNQuerySpec("T", kColumns, sel, 100),
+                engine::ExecutionTarget::kSmartSsd, &topn_rows);
+    std::printf("%10.0f%% %21.2fx %21.2fx   (%llu rows)\n", sel * 100,
+                plain_host / plain_smart, topn_host / topn_smart,
+                static_cast<unsigned long long>(topn_rows));
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape check: the plain-scan column decays with selectivity; the "
+      "top-N column stays near the aggregate-scan speedup at every "
+      "selectivity.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Wall-clock microbenchmarks (google-benchmark) for the hot kernels the
+// simulator executes for real: page codecs, expression evaluation, and
+// the join hash table. These measure the *simulator's* own efficiency,
+// not the paper's device — virtual-time results come from the fig*/
+// table*/s13_*/abl_* binaries.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "exec/hash_table.h"
+#include "expr/expression.h"
+#include "expr/row_view.h"
+#include "storage/nsm_page.h"
+#include "storage/pax_page.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "tpch/synthetic.h"
+
+using namespace smartssd;
+
+namespace {
+
+storage::Schema MakeSchema(int columns) {
+  return tpch::SyntheticSchema(columns);
+}
+
+std::vector<std::byte> MakeTuple(const storage::Schema& schema,
+                                 Random& rng) {
+  std::vector<std::byte> tuple(schema.tuple_size());
+  storage::TupleWriter writer(&schema, tuple);
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    writer.SetInt32(c, static_cast<std::int32_t>(rng.Uniform(1 << 30)));
+  }
+  return tuple;
+}
+
+void BM_NsmPageBuild(benchmark::State& state) {
+  const storage::Schema schema = MakeSchema(static_cast<int>(state.range(0)));
+  Random rng(7);
+  const std::vector<std::byte> tuple = MakeTuple(schema, rng);
+  storage::NsmPageBuilder builder(&schema, 8192);
+  for (auto _ : state) {
+    builder.Reset();
+    while (builder.Append(tuple)) {
+    }
+    benchmark::DoNotOptimize(builder.image().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_NsmPageBuild)->Arg(8)->Arg(64);
+
+void BM_PaxPageBuild(benchmark::State& state) {
+  const storage::Schema schema = MakeSchema(static_cast<int>(state.range(0)));
+  Random rng(7);
+  const std::vector<std::byte> tuple = MakeTuple(schema, rng);
+  storage::PaxPageBuilder builder(&schema, 8192);
+  for (auto _ : state) {
+    builder.Reset();
+    while (builder.Append(tuple)) {
+    }
+    benchmark::DoNotOptimize(builder.image().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_PaxPageBuild)->Arg(8)->Arg(64);
+
+void BM_PredicateEvalNsm(benchmark::State& state) {
+  const storage::Schema schema = MakeSchema(16);
+  Random rng(11);
+  const std::vector<std::byte> tuple = MakeTuple(schema, rng);
+  std::vector<expr::ExprPtr> predicates;
+  predicates.push_back(expr::Lt(expr::Col(2), expr::Lit(1 << 29)));
+  predicates.push_back(expr::Gt(expr::Col(5), expr::Lit(1 << 20)));
+  const expr::ExprPtr predicate = expr::And(std::move(predicates));
+  const expr::NsmRowView view(&schema, tuple.data());
+  expr::EvalStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicate->Evaluate(view, &stats).AsBool());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredicateEvalNsm);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const std::int64_t entries = state.range(0);
+  exec::JoinHashTable table(
+      8, static_cast<std::uint64_t>(entries));
+  std::vector<std::byte> payload(8, std::byte{1});
+  for (std::int64_t k = 0; k < entries; ++k) {
+    SMARTSSD_CHECK(table.Insert(k, payload).ok());
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Probe(static_cast<std::int64_t>(rng.Uniform(
+            static_cast<std::uint64_t>(entries)))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 2: maximum sequential read bandwidth with 32-page (256 KB)
+// I/Os. The paper measures 550 MB/s through the SAS host interface and
+// 1,560 MB/s internally (flash -> device DRAM), a 2.8x gap — the upper
+// bound on any Smart SSD gain with this device.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ssd/ssd_device.h"
+
+using namespace smartssd;
+
+namespace {
+
+constexpr std::uint64_t kPages = 32768;  // 256 MiB at 8 KiB pages
+constexpr std::uint32_t kIoPages = 32;   // 256 KB commands
+
+// Fills the first kPages logical pages so reads hit real flash.
+void Preload(ssd::SsdDevice& device) {
+  const std::uint32_t page_size = device.page_size();
+  std::vector<std::byte> buffer(
+      static_cast<std::size_t>(kIoPages) * page_size, std::byte{0x5A});
+  SimTime t = 0;
+  for (std::uint64_t lpn = 0; lpn < kPages; lpn += kIoPages) {
+    t = bench::Unwrap(device.WritePages(lpn, kIoPages, buffer, t),
+                      "preload write");
+  }
+  device.ResetTiming();
+}
+
+double HostPathBandwidthMBps(ssd::SsdDevice& device) {
+  SimTime done = 0;
+  for (std::uint64_t lpn = 0; lpn < kPages; lpn += kIoPages) {
+    done = bench::Unwrap(device.ReadPages(lpn, kIoPages, {}, 0),
+                         "host read");
+  }
+  const double bytes =
+      static_cast<double>(kPages) * device.page_size();
+  return bytes / ToSeconds(done) / 1e6;
+}
+
+double InternalBandwidthMBps(ssd::SsdDevice& device) {
+  SimTime done = 0;
+  for (std::uint64_t lpn = 0; lpn < kPages; ++lpn) {
+    done = bench::Unwrap(device.InternalReadPageTiming(lpn, 0),
+                         "internal read");
+  }
+  const double bytes =
+      static_cast<double>(kPages) * device.page_size();
+  return bytes / ToSeconds(done) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Maximum sequential read bandwidth, 32-page (256 KB) I/Os",
+      "Table 2");
+
+  ssd::SsdDevice device(ssd::SsdConfig::PaperSmartSsd());
+  Preload(device);
+
+  const double host_mbps = HostPathBandwidthMBps(device);
+  device.ResetTiming();
+  const double internal_mbps = InternalBandwidthMBps(device);
+
+  std::printf("%-28s %12s %12s\n", "path", "paper", "measured");
+  bench::PrintRule();
+  std::printf("%-28s %9d MB/s %8.0f MB/s\n",
+              "SAS SSD (host interface)", 550, host_mbps);
+  std::printf("%-28s %9d MB/s %8.0f MB/s\n",
+              "Smart SSD (internal)", 1560, internal_mbps);
+  bench::PrintRule();
+  std::printf("Internal/host ratio: paper 2.8x, measured %.2fx\n",
+              internal_mbps / host_mbps);
+  return 0;
+}

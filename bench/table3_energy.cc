@@ -1,0 +1,109 @@
+// Table 3: energy consumption for TPC-H Query 6 across the four storage
+// configurations (SAS HDD, SAS SSD, Smart SSD with NSM, Smart SSD with
+// PAX), at whole-system and I/O-subsystem granularity. The paper
+// reports, relative to Smart SSD (PAX):
+//   HDD:  11.6x system energy, 14.3x I/O energy (12.4x over idle base)
+//   SSD:   1.9x system energy,  1.4x I/O energy ( 2.3x over idle base)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "energy/energy_model.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+using namespace smartssd;
+
+namespace {
+
+constexpr double kScaleFactor = 0.05;
+constexpr double kScaleUp = 100.0 / kScaleFactor;
+
+struct Row {
+  const char* label;
+  double elapsed_sf100;
+  energy::EnergyBreakdown energy;
+};
+
+Row RunQ6(engine::Database& db, const std::string& table,
+          engine::ExecutionTarget target, const char* label) {
+  db.ResetForColdRun();
+  engine::QueryExecutor executor(&db);
+  auto result = bench::Unwrap(executor.Execute(tpch::Q6Spec(table), target),
+                              label);
+  energy::EnergyBreakdown energy = energy::ComputeEnergy(
+      result.stats, db.host().config(), db.device().power_profile());
+  // Energy scales linearly with elapsed time; project to SF 100.
+  energy.elapsed_seconds *= kScaleUp;
+  energy.system_kilojoules *= kScaleUp;
+  energy.io_kilojoules *= kScaleUp;
+  energy.over_idle_kilojoules *= kScaleUp;
+  return Row{label, result.stats.elapsed_seconds() * kScaleUp, energy};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Energy consumption for TPC-H Query 6", "Table 3");
+
+  engine::Database hdd_db(engine::DatabaseOptions::PaperHdd());
+  bench::Unwrap(tpch::LoadLineitem(hdd_db, "lineitem", kScaleFactor,
+                                   storage::PageLayout::kNsm),
+                "load (HDD)");
+
+  engine::Database ssd_db(engine::DatabaseOptions::PaperSsd());
+  bench::Unwrap(tpch::LoadLineitem(ssd_db, "lineitem", kScaleFactor,
+                                   storage::PageLayout::kNsm),
+                "load (SSD)");
+
+  engine::Database smart_db(engine::DatabaseOptions::PaperSmartSsd());
+  bench::Unwrap(tpch::LoadLineitem(smart_db, "lineitem_nsm", kScaleFactor,
+                                   storage::PageLayout::kNsm),
+                "load NSM (Smart)");
+  bench::Unwrap(tpch::LoadLineitem(smart_db, "lineitem_pax", kScaleFactor,
+                                   storage::PageLayout::kPax),
+                "load PAX (Smart)");
+
+  const Row rows[] = {
+      RunQ6(hdd_db, "lineitem", engine::ExecutionTarget::kHost, "SAS HDD"),
+      RunQ6(ssd_db, "lineitem", engine::ExecutionTarget::kHost, "SAS SSD"),
+      RunQ6(smart_db, "lineitem_nsm", engine::ExecutionTarget::kSmartSsd,
+            "Smart SSD (NSM)"),
+      RunQ6(smart_db, "lineitem_pax", engine::ExecutionTarget::kSmartSsd,
+            "Smart SSD (PAX)"),
+  };
+  const Row& pax = rows[3];
+
+  std::printf("%-18s %12s %14s %14s %12s\n", "configuration",
+              "elapsed (s)", "system (kJ)", "I/O subsys (kJ)",
+              "avg watts");
+  bench::PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%-18s %11.1f %13.1f %13.2f %12.1f\n", row.label,
+                row.elapsed_sf100, row.energy.system_kilojoules,
+                row.energy.io_kilojoules,
+                row.energy.average_system_watts);
+  }
+  bench::PrintRule();
+  std::printf("Ratios vs Smart SSD (PAX):          paper    measured\n");
+  std::printf("  HDD system energy                 11.6x    %8.1fx\n",
+              rows[0].energy.system_kilojoules /
+                  pax.energy.system_kilojoules);
+  std::printf("  HDD I/O subsystem energy          14.3x    %8.1fx\n",
+              rows[0].energy.io_kilojoules / pax.energy.io_kilojoules);
+  std::printf("  HDD energy over 235 W idle        12.4x    %8.1fx\n",
+              rows[0].energy.over_idle_kilojoules /
+                  pax.energy.over_idle_kilojoules);
+  std::printf("  SSD system energy                  1.9x    %8.1fx\n",
+              rows[1].energy.system_kilojoules /
+                  pax.energy.system_kilojoules);
+  std::printf("  SSD I/O subsystem energy           1.4x    %8.1fx\n",
+              rows[1].energy.io_kilojoules / pax.energy.io_kilojoules);
+  std::printf("  SSD energy over 235 W idle         2.3x    %8.1fx\n",
+              rows[1].energy.over_idle_kilojoules /
+                  pax.energy.over_idle_kilojoules);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Energy report: runs the same analytic query against the paper's three
+// storage configurations (SAS HDD, SAS SSD, Smart SSD) and prints a
+// Table-3-style breakdown — elapsed virtual time, average system power,
+// whole-system energy, I/O-subsystem energy, and energy over the 235 W
+// idle base.
+//
+//   ./build/examples/energy_report [scale_factor]   (default 0.02)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "energy/energy_model.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+using namespace smartssd;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double seconds;
+  energy::EnergyBreakdown energy;
+};
+
+Row Measure(engine::DeviceKind kind, const char* label, double sf,
+            storage::PageLayout layout, engine::ExecutionTarget target) {
+  engine::DatabaseOptions options;
+  switch (kind) {
+    case engine::DeviceKind::kHdd:
+      options = engine::DatabaseOptions::PaperHdd();
+      break;
+    case engine::DeviceKind::kSsd:
+      options = engine::DatabaseOptions::PaperSsd();
+      break;
+    case engine::DeviceKind::kSmartSsd:
+      options = engine::DatabaseOptions::PaperSmartSsd();
+      break;
+  }
+  engine::Database db(options);
+  auto loaded = tpch::LoadLineitem(db, "lineitem", sf, layout);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  db.ResetForColdRun();
+  engine::QueryExecutor executor(&db);
+  auto result = executor.Execute(tpch::Q6Spec("lineitem"), target);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return Row{label, result->stats.elapsed_seconds(),
+             energy::ComputeEnergy(result->stats, db.host().config(),
+                                   db.device().power_profile())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+  std::printf("TPC-H Q6 at SF %.3f, cold runs; energy per the paper's "
+              "power envelope (235 W idle base).\n\n",
+              sf);
+
+  const Row rows[] = {
+      Measure(engine::DeviceKind::kHdd, "SAS HDD (host)", sf,
+              storage::PageLayout::kNsm, engine::ExecutionTarget::kHost),
+      Measure(engine::DeviceKind::kSsd, "SAS SSD (host)", sf,
+              storage::PageLayout::kNsm, engine::ExecutionTarget::kHost),
+      Measure(engine::DeviceKind::kSmartSsd, "Smart SSD (NSM)", sf,
+              storage::PageLayout::kNsm,
+              engine::ExecutionTarget::kSmartSsd),
+      Measure(engine::DeviceKind::kSmartSsd, "Smart SSD (PAX)", sf,
+              storage::PageLayout::kPax,
+              engine::ExecutionTarget::kSmartSsd),
+  };
+
+  std::printf("%-18s %12s %11s %12s %12s %12s\n", "configuration",
+              "elapsed (s)", "avg W", "system (J)", "I/O (J)",
+              "over-idle (J)");
+  for (const Row& row : rows) {
+    std::printf("%-18s %12.4f %11.1f %12.2f %12.3f %12.2f\n", row.label,
+                row.seconds, row.energy.average_system_watts,
+                row.energy.system_kilojoules * 1000,
+                row.energy.io_kilojoules * 1000,
+                row.energy.over_idle_kilojoules * 1000);
+  }
+
+  const Row& pax = rows[3];
+  std::printf("\nRelative to Smart SSD (PAX):\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-18s %5.1fx system, %5.1fx I/O, %5.1fx over-idle\n",
+                rows[i].label,
+                rows[i].energy.system_kilojoules /
+                    pax.energy.system_kilojoules,
+                rows[i].energy.io_kilojoules / pax.energy.io_kilojoules,
+                rows[i].energy.over_idle_kilojoules /
+                    pax.energy.over_idle_kilojoules);
+  }
+  std::printf("\nPaper (Table 3): HDD 11.6x system / 14.3x I/O; "
+              "SSD 1.9x system / 1.4x I/O.\n");
+  return 0;
+}

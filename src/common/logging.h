@@ -1,0 +1,45 @@
+#ifndef SMARTSSD_COMMON_LOGGING_H_
+#define SMARTSSD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smartssd {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Global log threshold; messages below it are dropped. Default kWarning so
+// tests and benches stay quiet; examples raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log line; emits on destruction. Not intended for direct
+// use: go through SMARTSSD_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace smartssd
+
+#define SMARTSSD_LOG(level)                                      \
+  if (::smartssd::LogLevel::level < ::smartssd::GetLogLevel()) { \
+  } else                                                         \
+    ::smartssd::internal_logging::LogMessage(                    \
+        ::smartssd::LogLevel::level, __FILE__, __LINE__)         \
+        .stream()
+
+#endif  // SMARTSSD_COMMON_LOGGING_H_

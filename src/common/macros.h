@@ -1,0 +1,58 @@
+#ifndef SMARTSSD_COMMON_MACROS_H_
+#define SMARTSSD_COMMON_MACROS_H_
+
+// Project-wide helper macros. Kept deliberately small: only things the
+// language cannot express directly (statement-level control flow around
+// Status propagation, and fatal invariant checks).
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SMARTSSD_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete
+
+// Fatal invariant check. Used for programmer errors (never for data or
+// user errors, which flow through Status). Active in all build modes:
+// a storage engine that silently corrupts state in release mode is worse
+// than one that aborts.
+#define SMARTSSD_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define SMARTSSD_CHECK_OP(a, op, b) SMARTSSD_CHECK((a)op(b))
+#define SMARTSSD_CHECK_EQ(a, b) SMARTSSD_CHECK_OP(a, ==, b)
+#define SMARTSSD_CHECK_NE(a, b) SMARTSSD_CHECK_OP(a, !=, b)
+#define SMARTSSD_CHECK_LT(a, b) SMARTSSD_CHECK_OP(a, <, b)
+#define SMARTSSD_CHECK_LE(a, b) SMARTSSD_CHECK_OP(a, <=, b)
+#define SMARTSSD_CHECK_GT(a, b) SMARTSSD_CHECK_OP(a, >, b)
+#define SMARTSSD_CHECK_GE(a, b) SMARTSSD_CHECK_OP(a, >=, b)
+
+// Propagates a non-OK Status to the caller.
+#define SMARTSSD_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::smartssd::Status _status = (expr);          \
+    if (!_status.ok()) return _status;            \
+  } while (0)
+
+// Evaluates `rexpr` (a Result<T>), propagates the error, or moves the
+// value into `lhs`. `lhs` may include a declaration, e.g.
+//   SMARTSSD_ASSIGN_OR_RETURN(auto page, ReadPage(id));
+#define SMARTSSD_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SMARTSSD_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SMARTSSD_MACRO_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define SMARTSSD_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                    \
+  if (!result.ok()) return std::move(result).status();      \
+  lhs = std::move(result).value()
+
+#define SMARTSSD_MACRO_CONCAT_INNER_(a, b) a##b
+#define SMARTSSD_MACRO_CONCAT_(a, b) SMARTSSD_MACRO_CONCAT_INNER_(a, b)
+
+#endif  // SMARTSSD_COMMON_MACROS_H_

@@ -1,0 +1,37 @@
+#ifndef SMARTSSD_COMMON_RANDOM_H_
+#define SMARTSSD_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace smartssd {
+
+// Deterministic 64-bit PRNG (xoshiro256** over a splitmix64-expanded
+// seed). Data generation must be reproducible across runs and platforms,
+// so we do not use std::mt19937 distributions (whose mapping functions are
+// implementation-defined for some distributions).
+class Random {
+ public:
+  explicit Random(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace smartssd
+
+#endif  // SMARTSSD_COMMON_RANDOM_H_

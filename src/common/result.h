@@ -1,0 +1,66 @@
+#ifndef SMARTSSD_COMMON_RESULT_H_
+#define SMARTSSD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace smartssd {
+
+// Result<T> carries either a value or a non-OK Status (absl::StatusOr
+// equivalent). Accessing value() on an error result aborts: that is a
+// programmer error, not a runtime condition.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites readable ("return tuple;" / "return NotFoundError(...)"): this
+  // mirrors absl::StatusOr and is the one place we intentionally allow an
+  // implicit one-argument constructor.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SMARTSSD_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    SMARTSSD_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SMARTSSD_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SMARTSSD_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &const_cast<Result*>(this)->value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // kOk iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace smartssd
+
+#endif  // SMARTSSD_COMMON_RESULT_H_

@@ -1,0 +1,77 @@
+#ifndef SMARTSSD_COMMON_STATUS_H_
+#define SMARTSSD_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace smartssd {
+
+// Error categories, modelled after absl::StatusCode but trimmed to what a
+// storage/query stack actually raises.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kCorruption,
+  kAborted,
+};
+
+// Returns a stable human-readable name, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-type status word. The project does not use exceptions (per the
+// Google C++ style the codebase follows); every fallible API returns
+// Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Factory helpers, mirroring absl's conventions.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+Status CorruptionError(std::string message);
+Status AbortedError(std::string message);
+
+}  // namespace smartssd
+
+#endif  // SMARTSSD_COMMON_STATUS_H_

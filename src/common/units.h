@@ -1,0 +1,55 @@
+#ifndef SMARTSSD_COMMON_UNITS_H_
+#define SMARTSSD_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace smartssd {
+
+// Virtual time is tracked in nanoseconds throughout the simulator.
+using SimTime = std::uint64_t;  // nanoseconds since simulation start
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+// Storage/interface vendors quote decimal megabytes; bandwidth numbers in
+// the paper (550 MB/s, 1,560 MB/s) are decimal.
+inline constexpr std::uint64_t kMB = 1000 * 1000;
+inline constexpr std::uint64_t kGB = 1000 * kMB;
+
+inline constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Time to move `bytes` at `bytes_per_second`, rounded up to a whole
+// nanosecond so zero-duration transfers cannot starve the event loop.
+inline constexpr SimDuration TransferTime(std::uint64_t bytes,
+                                          std::uint64_t bytes_per_second) {
+  if (bytes == 0) return 0;
+  if (bytes_per_second == 0) return 0;
+  const unsigned __int128 numerator =
+      static_cast<unsigned __int128>(bytes) * kSecond;
+  const std::uint64_t t = static_cast<std::uint64_t>(
+      (numerator + bytes_per_second - 1) / bytes_per_second);
+  return t == 0 ? 1 : t;
+}
+
+// Time for `cycles` CPU cycles at `hz`.
+inline constexpr SimDuration CyclesToTime(std::uint64_t cycles,
+                                          std::uint64_t hz) {
+  if (cycles == 0 || hz == 0) return 0;
+  const unsigned __int128 numerator =
+      static_cast<unsigned __int128>(cycles) * kSecond;
+  const std::uint64_t t =
+      static_cast<std::uint64_t>((numerator + hz - 1) / hz);
+  return t == 0 ? 1 : t;
+}
+
+}  // namespace smartssd
+
+#endif  // SMARTSSD_COMMON_UNITS_H_

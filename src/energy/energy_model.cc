@@ -1,0 +1,26 @@
+#include "energy/energy_model.h"
+
+namespace smartssd::energy {
+
+EnergyBreakdown ComputeEnergy(const engine::QueryStats& stats,
+                              const engine::HostConfig& host,
+                              const ssd::DevicePowerProfile& device) {
+  EnergyBreakdown breakdown;
+  breakdown.elapsed_seconds = stats.elapsed_seconds();
+  const double ingest_gbps = stats.host_ingest_gbps();
+  const double host_over_idle =
+      host.query_active_watts + host.per_gbps_watts * ingest_gbps;
+  const double system_watts =
+      host.idle_system_watts + host_over_idle + device.active_watts;
+  breakdown.average_system_watts = system_watts;
+  breakdown.system_kilojoules =
+      system_watts * breakdown.elapsed_seconds / 1000.0;
+  breakdown.io_kilojoules =
+      device.active_watts * breakdown.elapsed_seconds / 1000.0;
+  breakdown.over_idle_kilojoules =
+      (system_watts - host.idle_system_watts) * breakdown.elapsed_seconds /
+      1000.0;
+  return breakdown;
+}
+
+}  // namespace smartssd::energy

@@ -1,0 +1,41 @@
+#ifndef SMARTSSD_ENERGY_ENERGY_MODEL_H_
+#define SMARTSSD_ENERGY_ENERGY_MODEL_H_
+
+#include "engine/host_machine.h"
+#include "engine/metrics.h"
+#include "ssd/block_device.h"
+
+namespace smartssd::energy {
+
+// Energy accounting for one query, reproducing Table 3's two
+// granularities: the whole server at the wall socket, and just the I/O
+// subsystem (the storage device behind the HBA).
+//
+// Model: power is integrated over the query's *virtual* elapsed time.
+//   system W = idle base (235 W on the paper's server)
+//            + host active overhead while a query runs (threads, buffer
+//              management, GET polling)
+//            + a data-rate term for moving bytes across the HBA into
+//              host memory (this is what separates the SSD run's power
+//              from the Smart SSD run's: 550 MB/s of ingest vs a trickle
+//              of result tuples)
+//            + the device's active power.
+//   I/O subsystem W = the device's active power.
+struct EnergyBreakdown {
+  double elapsed_seconds = 0;
+  double average_system_watts = 0;
+  double system_kilojoules = 0;
+  double io_kilojoules = 0;
+  // Energy above the idle base over the same interval — the paper's
+  // alternative accounting ("if we only consider the energy consumption
+  // over the base idle energy (235W)").
+  double over_idle_kilojoules = 0;
+};
+
+EnergyBreakdown ComputeEnergy(const engine::QueryStats& stats,
+                              const engine::HostConfig& host,
+                              const ssd::DevicePowerProfile& device);
+
+}  // namespace smartssd::energy
+
+#endif  // SMARTSSD_ENERGY_ENERGY_MODEL_H_

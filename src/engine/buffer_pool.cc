@@ -1,0 +1,170 @@
+#include "engine/buffer_pool.h"
+
+#include <algorithm>
+
+namespace smartssd::engine {
+
+BufferPool::BufferPool(ssd::BlockDevice* device,
+                       std::uint64_t capacity_pages)
+    : device_(device) {
+  SMARTSSD_CHECK(device != nullptr);
+  SMARTSSD_CHECK_GE(capacity_pages, kReadAheadPages);
+  frames_.resize(static_cast<std::size_t>(capacity_pages));
+  for (Frame& frame : frames_) {
+    frame.data.resize(device->page_size());
+  }
+  io_buffer_.resize(static_cast<std::size_t>(kReadAheadPages) *
+                    device->page_size());
+}
+
+bool BufferPool::IsCached(std::uint64_t lpn) const {
+  return map_.find(lpn) != map_.end();
+}
+
+bool BufferPool::IsDirty(std::uint64_t lpn) const {
+  auto it = map_.find(lpn);
+  return it != map_.end() && frames_[it->second].dirty;
+}
+
+bool BufferPool::HasDirtyInRange(std::uint64_t first_lpn,
+                                 std::uint64_t count) const {
+  // The pool is small relative to table extents, so walk the frames.
+  for (const Frame& frame : frames_) {
+    if (frame.valid && frame.dirty && frame.lpn >= first_lpn &&
+        frame.lpn < first_lpn + count) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t BufferPool::CachedInRange(std::uint64_t first_lpn,
+                                        std::uint64_t count) const {
+  std::uint64_t cached = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.valid && frame.lpn >= first_lpn &&
+        frame.lpn < first_lpn + count) {
+      ++cached;
+    }
+  }
+  return cached;
+}
+
+Result<std::size_t> BufferPool::Evict(SimTime ready, SimTime* io_done) {
+  for (std::size_t sweep = 0; sweep < 2 * frames_.size() + 1; ++sweep) {
+    Frame& frame = frames_[clock_hand_];
+    const std::size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (!frame.valid) return index;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.dirty) {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          *io_done, device_->WritePages(frame.lpn, 1, frame.data,
+                                        std::max(ready, *io_done)));
+      frame.dirty = false;
+    }
+    map_.erase(frame.lpn);
+    frame.valid = false;
+    return index;
+  }
+  return InternalError("buffer pool eviction failed to find a victim");
+}
+
+Result<SimTime> BufferPool::InstallRange(std::uint64_t lpn,
+                                         std::uint32_t count,
+                                         SimTime ready) {
+  const std::uint32_t page_size = device_->page_size();
+  SimTime io_done = ready;
+  SMARTSSD_ASSIGN_OR_RETURN(
+      io_done,
+      device_->ReadPages(
+          lpn, count,
+          std::span<std::byte>(io_buffer_.data(),
+                               static_cast<std::size_t>(count) * page_size),
+          ready));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (map_.find(lpn + i) != map_.end()) continue;  // already resident
+    SimTime flush_done = io_done;
+    SMARTSSD_ASSIGN_OR_RETURN(const std::size_t frame_index,
+                              Evict(ready, &flush_done));
+    io_done = std::max(io_done, flush_done);
+    Frame& frame = frames_[frame_index];
+    frame.lpn = lpn + i;
+    frame.valid = true;
+    frame.dirty = false;
+    frame.referenced = true;
+    frame.available_at = io_done;
+    std::copy_n(io_buffer_.begin() +
+                    static_cast<std::size_t>(i) * page_size,
+                page_size, frame.data.begin());
+    map_[lpn + i] = frame_index;
+  }
+  return io_done;
+}
+
+Result<std::pair<std::span<const std::byte>, SimTime>> BufferPool::GetPage(
+    std::uint64_t lpn, SimTime ready, std::uint64_t limit_lpn) {
+  auto it = map_.find(lpn);
+  if (it != map_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    return std::make_pair(std::span<const std::byte>(frame.data),
+                          std::max(ready, frame.available_at));
+  }
+  ++misses_;
+  if (limit_lpn <= lpn) limit_lpn = lpn + 1;
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(kReadAheadPages, limit_lpn - lpn));
+  SMARTSSD_ASSIGN_OR_RETURN(const SimTime io_done,
+                            InstallRange(lpn, count, ready));
+  it = map_.find(lpn);
+  SMARTSSD_CHECK(it != map_.end());
+  Frame& frame = frames_[it->second];
+  return std::make_pair(std::span<const std::byte>(frame.data), io_done);
+}
+
+Result<SimTime> BufferPool::WritePage(std::uint64_t lpn,
+                                      std::span<const std::byte> data,
+                                      SimTime ready) {
+  if (data.size() != device_->page_size()) {
+    return InvalidArgumentError("buffer pool write: wrong page size");
+  }
+  SimTime t = ready;
+  if (!IsCached(lpn)) {
+    SMARTSSD_ASSIGN_OR_RETURN(t, InstallRange(lpn, 1, ready));
+  }
+  Frame& frame = frames_[map_.at(lpn)];
+  std::copy(data.begin(), data.end(), frame.data.begin());
+  frame.dirty = true;
+  frame.referenced = true;
+  frame.available_at = t;
+  return t;
+}
+
+Result<SimTime> BufferPool::FlushAll(SimTime ready) {
+  SimTime t = ready;
+  for (Frame& frame : frames_) {
+    if (frame.valid && frame.dirty) {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          t, device_->WritePages(frame.lpn, 1, frame.data, t));
+      frame.dirty = false;
+    }
+  }
+  return t;
+}
+
+void BufferPool::Clear() {
+  for (Frame& frame : frames_) {
+    SMARTSSD_CHECK(!frame.dirty);  // flush before clearing
+    frame.valid = false;
+    frame.referenced = false;
+  }
+  map_.clear();
+  clock_hand_ = 0;
+}
+
+}  // namespace smartssd::engine

@@ -1,0 +1,89 @@
+#ifndef SMARTSSD_ENGINE_BUFFER_POOL_H_
+#define SMARTSSD_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "ssd/block_device.h"
+
+namespace smartssd::engine {
+
+// DBMS buffer pool over one block device: fixed frame count, clock
+// eviction, sequential-scan readahead in 32-page commands (the paper's
+// 256 KB I/Os). All timing flows through the device's virtual clock.
+//
+// The pool matters to the paper beyond performance: Section 4.3's
+// pushdown rules hinge on it. A page that is *dirty* in the pool makes
+// pushdown incorrect (the device would see stale bytes); a range that is
+// mostly *cached* makes pushdown pointless. The planner asks this class
+// both questions.
+class BufferPool {
+ public:
+  static constexpr std::uint32_t kReadAheadPages = 32;
+
+  BufferPool(ssd::BlockDevice* device, std::uint64_t capacity_pages);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  // Returns the page contents and the virtual time they are available.
+  // On a miss, reads up to kReadAheadPages pages (bounded by `limit_lpn`,
+  // exclusive) in one command and caches them all. The returned span is
+  // valid until the next pool operation.
+  Result<std::pair<std::span<const std::byte>, SimTime>> GetPage(
+      std::uint64_t lpn, SimTime ready, std::uint64_t limit_lpn);
+
+  // Overwrites a cached page's contents in memory, marking it dirty.
+  // Caches the page first (reading it at `ready`) if absent.
+  Result<SimTime> WritePage(std::uint64_t lpn,
+                            std::span<const std::byte> data, SimTime ready);
+
+  // Writes every dirty page back to the device; returns completion time.
+  Result<SimTime> FlushAll(SimTime ready);
+
+  bool IsCached(std::uint64_t lpn) const;
+  bool IsDirty(std::uint64_t lpn) const;
+  bool HasDirtyInRange(std::uint64_t first_lpn, std::uint64_t count) const;
+  std::uint64_t CachedInRange(std::uint64_t first_lpn,
+                              std::uint64_t count) const;
+
+  // Drops everything (cold-run reset). Dirty pages must be flushed
+  // first; dropping them is a programmer error.
+  void Clear();
+
+  std::uint64_t capacity_pages() const { return frames_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    std::uint64_t lpn = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool referenced = false;
+    // When the frame's contents became available (its install I/O's
+    // completion): a hit on a readahead-installed page cannot be consumed
+    // before the batch that brought it in has finished.
+    SimTime available_at = 0;
+    std::vector<std::byte> data;
+  };
+
+  // Picks a victim frame with the clock algorithm, flushing it if dirty.
+  Result<std::size_t> Evict(SimTime ready, SimTime* io_done);
+  Result<SimTime> InstallRange(std::uint64_t lpn, std::uint32_t count,
+                               SimTime ready);
+
+  ssd::BlockDevice* device_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::size_t> map_;  // lpn -> frame
+  std::size_t clock_hand_ = 0;
+  std::vector<std::byte> io_buffer_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,120 @@
+#include "engine/database.h"
+
+namespace smartssd::engine {
+
+DatabaseOptions DatabaseOptions::PaperHdd() {
+  DatabaseOptions options;
+  options.device = DeviceKind::kHdd;
+  return options;
+}
+
+DatabaseOptions DatabaseOptions::PaperSsd() {
+  DatabaseOptions options;
+  options.device = DeviceKind::kSsd;
+  options.ssd = ssd::SsdConfig::PaperSsd();
+  return options;
+}
+
+DatabaseOptions DatabaseOptions::PaperSmartSsd() {
+  DatabaseOptions options;
+  options.device = DeviceKind::kSmartSsd;
+  options.ssd = ssd::SsdConfig::PaperSmartSsd();
+  return options;
+}
+
+Database::Database(const DatabaseOptions& options) : options_(options) {
+  switch (options.device) {
+    case DeviceKind::kHdd: {
+      device_ = std::make_unique<ssd::HddDevice>(options.hdd);
+      break;
+    }
+    case DeviceKind::kSsd:
+    case DeviceKind::kSmartSsd: {
+      auto ssd = std::make_unique<ssd::SsdDevice>(options.ssd);
+      ssd_ = ssd.get();
+      device_ = std::move(ssd);
+      if (options.device == DeviceKind::kSmartSsd) {
+        runtime_ = std::make_unique<smart::SmartSsdRuntime>(ssd_);
+      }
+      break;
+    }
+  }
+  catalog_ = std::make_unique<storage::Catalog>(device_->num_pages());
+  pool_ = std::make_unique<BufferPool>(device_.get(),
+                                       options.buffer_pool_pages);
+  host_ = std::make_unique<HostMachine>(options.host);
+}
+
+Result<storage::TableInfo> Database::LoadTable(
+    std::string name, const storage::Schema& schema,
+    storage::PageLayout layout, std::uint64_t row_count,
+    const storage::RowGenerator& gen) {
+  storage::TableLoader loader(device_.get(), catalog_.get());
+  return loader.Load(std::move(name), schema, layout, row_count, gen);
+}
+
+Status Database::BuildZoneMap(const std::string& table) {
+  SMARTSSD_ASSIGN_OR_RETURN(const storage::TableInfo* info,
+                            catalog_->GetTable(table));
+  std::vector<std::byte> buffer(device_->page_size());
+  auto read_page = [&](std::uint64_t page_index)
+      -> Result<std::span<const std::byte>> {
+    SMARTSSD_RETURN_IF_ERROR(
+        device_
+            ->ReadPages(info->first_lpn + page_index, 1, buffer,
+                        /*ready=*/0)
+            .status());
+    return std::span<const std::byte>(buffer);
+  };
+  SMARTSSD_ASSIGN_OR_RETURN(storage::ZoneMap map,
+                            storage::ZoneMap::Build(*info, read_page));
+  zone_maps_.insert_or_assign(table, std::move(map));
+  return Status::OK();
+}
+
+const storage::ZoneMap* Database::zone_map(const std::string& table) const {
+  auto it = zone_maps_.find(table);
+  return it == zone_maps_.end() ? nullptr : &it->second;
+}
+
+void Database::DropZoneMap(const std::string& table) {
+  zone_maps_.erase(table);
+}
+
+void Database::ResetForColdRun() {
+  pool_->Clear();
+  host_->ResetTiming();
+  if (ssd_ != nullptr) {
+    ssd_->ResetTiming();
+  } else {
+    static_cast<ssd::HddDevice*>(device_.get())->ResetTiming();
+  }
+}
+
+std::uint64_t Database::EstimatedHostReadBytesPerSecond() const {
+  if (options_.device == DeviceKind::kHdd) {
+    // Media rate derated by per-request overhead at 32-page commands.
+    const double request_bytes =
+        32.0 * options_.hdd.page_size_bytes;
+    const double transfer_s =
+        request_bytes / static_cast<double>(
+                            options_.hdd.media_bytes_per_second);
+    const double total_s =
+        transfer_s + ToSeconds(options_.hdd.per_request_overhead);
+    return static_cast<std::uint64_t>(request_bytes / total_s);
+  }
+  return ssd::EffectiveBytesPerSecond(options_.ssd.host_interface.standard);
+}
+
+std::uint64_t Database::EstimatedInternalReadBytesPerSecond() const {
+  if (ssd_ == nullptr) return 0;
+  const auto& dram = options_.ssd.dram;
+  const std::uint64_t dram_rate =
+      static_cast<std::uint64_t>(dram.bus_count) * dram.bus_bytes_per_second;
+  const std::uint64_t channel_rate =
+      static_cast<std::uint64_t>(options_.ssd.geometry.channels) *
+      options_.ssd.timings.channel_bytes_per_second;
+  return std::min(dram_rate, channel_rate);
+}
+
+}  // namespace smartssd::engine

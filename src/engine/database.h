@@ -1,0 +1,118 @@
+#ifndef SMARTSSD_ENGINE_DATABASE_H_
+#define SMARTSSD_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/buffer_pool.h"
+#include "engine/host_machine.h"
+#include "smart/protocol.h"
+#include "smart/runtime.h"
+#include "ssd/hdd_device.h"
+#include "ssd/ssd_device.h"
+#include "storage/catalog.h"
+#include "storage/table_loader.h"
+#include "storage/zone_map.h"
+
+namespace smartssd::engine {
+
+enum class DeviceKind { kHdd, kSsd, kSmartSsd };
+
+inline const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd:
+      return "SAS HDD";
+    case DeviceKind::kSsd:
+      return "SAS SSD";
+    case DeviceKind::kSmartSsd:
+      return "Smart SSD";
+  }
+  return "?";
+}
+
+struct DatabaseOptions {
+  DeviceKind device = DeviceKind::kSmartSsd;
+  ssd::SsdConfig ssd = ssd::SsdConfig::PaperSmartSsd();
+  ssd::HddConfig hdd;
+  HostConfig host;
+  std::uint64_t buffer_pool_pages = 4096;
+  smart::PollingPolicy polling;
+
+  // The paper's three storage configurations (Section 4.1.2), identical
+  // host, differing only in the device behind the HBA.
+  static DatabaseOptions PaperHdd();
+  static DatabaseOptions PaperSsd();
+  static DatabaseOptions PaperSmartSsd();
+};
+
+// One host + one storage device + the DBMS state gluing them together.
+// This is the stand-in for the paper's modified SQL Server instance: a
+// catalog of heap tables, a buffer pool, and — when the device is a
+// Smart SSD — a session runtime the executor's "special path" talks to.
+class Database {
+ public:
+  explicit Database(const DatabaseOptions& options);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(Database);
+
+  DeviceKind device_kind() const { return options_.device; }
+  ssd::BlockDevice& device() { return *device_; }
+  const ssd::BlockDevice& device() const { return *device_; }
+
+  // Non-null only when the device is a Smart SSD.
+  ssd::SsdDevice* ssd() { return ssd_; }
+  const ssd::SsdDevice* ssd() const { return ssd_; }
+  smart::SmartSsdRuntime* runtime() { return runtime_.get(); }
+  bool smart_capable() const { return runtime_ != nullptr; }
+
+  storage::Catalog& catalog() { return *catalog_; }
+  const storage::Catalog& catalog() const { return *catalog_; }
+  BufferPool& buffer_pool() { return *pool_; }
+  const BufferPool& buffer_pool() const { return *pool_; }
+  HostMachine& host() { return *host_; }
+  const HostMachine& host() const { return *host_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  // Bulk-loads a table (see TableLoader).
+  Result<storage::TableInfo> LoadTable(std::string name,
+                                       const storage::Schema& schema,
+                                       storage::PageLayout layout,
+                                       std::uint64_t row_count,
+                                       const storage::RowGenerator& gen);
+
+  // Builds per-page min/max statistics for a loaded table. Do this
+  // right after LoadTable (it reads every page, so timing should be
+  // reset afterwards — ResetForColdRun does that anyway). Scans on the
+  // table will then skip pages whose zone excludes the predicate range,
+  // on both the host and the pushdown path.
+  Status BuildZoneMap(const std::string& table);
+  // The table's zone map, or nullptr if none was built.
+  const storage::ZoneMap* zone_map(const std::string& table) const;
+  // Drops a table's zone map (updates invalidate the statistics).
+  void DropZoneMap(const std::string& table);
+
+  // Cold-run reset: empties the (clean) buffer pool and zeroes all
+  // device/host timing, as the paper does before each measured query.
+  void ResetForColdRun();
+
+  // Rough sequential read bandwidth of the host path, for the planner.
+  std::uint64_t EstimatedHostReadBytesPerSecond() const;
+  // Internal bandwidth (smart path); 0 for non-smart devices.
+  std::uint64_t EstimatedInternalReadBytesPerSecond() const;
+
+ private:
+  DatabaseOptions options_;
+  std::unique_ptr<ssd::BlockDevice> device_;
+  ssd::SsdDevice* ssd_ = nullptr;  // borrowed view of device_
+  std::unique_ptr<smart::SmartSsdRuntime> runtime_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HostMachine> host_;
+  std::map<std::string, storage::ZoneMap> zone_maps_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_DATABASE_H_

@@ -1,0 +1,63 @@
+#ifndef SMARTSSD_ENGINE_EXECUTOR_H_
+#define SMARTSSD_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "engine/planner.h"
+#include "exec/page_processor.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::engine {
+
+// A completed query: real output rows (packed fixed-width, per
+// OutputSchema), decoded aggregate values for aggregate queries, and the
+// measured timeline/counters.
+struct QueryResult {
+  storage::Schema output_schema;
+  std::vector<std::byte> rows;
+  std::vector<std::int64_t> agg_values;
+  QueryStats stats;
+
+  std::uint64_t row_count() const {
+    const std::uint32_t width = output_schema.tuple_size();
+    return width == 0 ? 0 : rows.size() / width;
+  }
+};
+
+// Runs bound queries either the conventional way (pages to the host,
+// operators on the Xeons) or through the Smart SSD's session protocol
+// (the paper's "special path in SQL Server", Section 4.1.2). Both paths
+// execute the identical PageProcessor kernel over identical bytes, so
+// they must produce identical results — a property the test suite
+// checks — while their timelines differ according to the data path and
+// processor the work actually used.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(Database* db);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(QueryExecutor);
+
+  Result<QueryResult> Execute(const exec::QuerySpec& spec,
+                              ExecutionTarget target, SimTime start = 0);
+
+  // Lets the pushdown planner pick the target (Section 4.3's rules),
+  // then executes. The decision taken is in the result's stats.target.
+  Result<QueryResult> ExecuteAuto(const exec::QuerySpec& spec,
+                                  const PlanHints& hints = {},
+                                  SimTime start = 0);
+
+  Result<QueryResult> ExecuteOnHost(const exec::BoundQuery& bound,
+                                    SimTime start);
+  Result<QueryResult> ExecuteOnDevice(const exec::BoundQuery& bound,
+                                      SimTime start);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_EXECUTOR_H_

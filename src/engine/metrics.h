@@ -1,0 +1,54 @@
+#ifndef SMARTSSD_ENGINE_METRICS_H_
+#define SMARTSSD_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "exec/cost_model.h"
+#include "smart/runtime.h"
+#include "storage/types.h"
+
+namespace smartssd::engine {
+
+enum class ExecutionTarget { kHost, kSmartSsd };
+
+inline const char* ExecutionTargetName(ExecutionTarget target) {
+  return target == ExecutionTarget::kHost ? "host" : "smart-ssd";
+}
+
+// Everything measured about one query execution, on the virtual clock.
+struct QueryStats {
+  std::string query_name;
+  std::string device_name;
+  ExecutionTarget target = ExecutionTarget::kHost;
+  storage::PageLayout layout = storage::PageLayout::kNsm;
+
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration elapsed() const { return end - start; }
+  double elapsed_seconds() const { return ToSeconds(elapsed()); }
+
+  // Bytes that crossed the host interface during the query: whole pages
+  // on the host path, result tuples (plus command traffic) on the smart
+  // path. This drives the energy model's data-rate term.
+  std::uint64_t bytes_over_host_link = 0;
+  std::uint64_t pages_read = 0;
+  std::uint64_t pages_skipped = 0;  // zone-map pruning
+  std::uint64_t output_rows = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t host_cycles = 0;
+  std::uint64_t embedded_cycles = 0;
+  exec::OpCounts counts;
+  smart::SessionStats session;  // populated on the smart path
+
+  double host_ingest_gbps() const {
+    const double s = elapsed_seconds();
+    if (s <= 0) return 0;
+    return static_cast<double>(bytes_over_host_link) / 1e9 / s;
+  }
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_METRICS_H_

@@ -1,0 +1,246 @@
+#include "engine/parallel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+
+namespace smartssd::engine {
+
+namespace {
+
+// Coordinator-side merge cost, charged to the host CPU after the last
+// worker completes: touch every partial row once.
+constexpr std::uint64_t kMergeCyclesPerRow = 40;
+constexpr std::uint64_t kMergeCyclesPerByte = 1;
+
+std::int64_t CombineAgg(exec::AggSpec::Fn fn, std::int64_t a,
+                        std::int64_t b) {
+  switch (fn) {
+    case exec::AggSpec::Fn::kSum:
+    case exec::AggSpec::Fn::kCount:
+      return a + b;
+    case exec::AggSpec::Fn::kMin:
+      return std::min(a, b);
+    case exec::AggSpec::Fn::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+std::int64_t AggMergeInit(exec::AggSpec::Fn fn) {
+  switch (fn) {
+    case exec::AggSpec::Fn::kSum:
+    case exec::AggSpec::Fn::kCount:
+      return 0;
+    case exec::AggSpec::Fn::kMin:
+      return std::numeric_limits<std::int64_t>::max();
+    case exec::AggSpec::Fn::kMax:
+      return std::numeric_limits<std::int64_t>::min();
+  }
+  return 0;
+}
+
+}  // namespace
+
+ParallelDatabase::ParallelDatabase(int workers,
+                                   const DatabaseOptions& options) {
+  SMARTSSD_CHECK_GT(workers, 0);
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Database>(options));
+  }
+}
+
+Status ParallelDatabase::LoadPartitionedTable(
+    const std::string& name, const storage::Schema& schema,
+    storage::PageLayout layout, std::uint64_t row_count,
+    const storage::RowGenerator& gen) {
+  const std::uint64_t n = static_cast<std::uint64_t>(workers());
+  for (std::uint64_t w = 0; w < n; ++w) {
+    const std::uint64_t first = row_count * w / n;
+    const std::uint64_t last = row_count * (w + 1) / n;
+    auto wrapped = [&gen, first](std::uint64_t row,
+                                 storage::TupleWriter& writer) {
+      gen(first + row, writer);
+    };
+    SMARTSSD_RETURN_IF_ERROR(
+        workers_[w]
+            ->LoadTable(name, schema, layout, last - first, wrapped)
+            .status());
+  }
+  return Status::OK();
+}
+
+Status ParallelDatabase::LoadReplicatedTable(
+    const std::string& name, const storage::Schema& schema,
+    storage::PageLayout layout, std::uint64_t row_count,
+    const storage::RowGenerator& gen) {
+  for (auto& worker : workers_) {
+    SMARTSSD_RETURN_IF_ERROR(
+        worker->LoadTable(name, schema, layout, row_count, gen).status());
+  }
+  return Status::OK();
+}
+
+void ParallelDatabase::ResetForColdRun() {
+  for (auto& worker : workers_) worker->ResetForColdRun();
+}
+
+Result<ParallelQueryResult> ParallelDatabase::Execute(
+    const exec::QuerySpec& spec, ExecutionTarget target, SimTime start) {
+  if (spec.top_n.has_value()) {
+    // The coordinator re-sorts merged rows by the order column, so it
+    // must appear in the projection.
+    bool projected = false;
+    for (const int col : spec.projection) {
+      if (col == spec.top_n->order_col) projected = true;
+    }
+    if (!projected) {
+      return InvalidArgumentError(
+          "parallel top-N requires the ORDER BY column in the projection");
+    }
+  }
+  std::vector<QueryResult> partials;
+  partials.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    QueryExecutor executor(worker.get());
+    SMARTSSD_ASSIGN_OR_RETURN(QueryResult partial,
+                              executor.Execute(spec, target, start));
+    partials.push_back(std::move(partial));
+  }
+  return Merge(spec, std::move(partials), start);
+}
+
+Result<ParallelQueryResult> ParallelDatabase::Merge(
+    const exec::QuerySpec& spec, std::vector<QueryResult> partials,
+    SimTime start) {
+  ParallelQueryResult result{.output_schema = partials[0].output_schema,
+                             .rows = {},
+                             .agg_values = {},
+                             .start = start,
+                             .end = start,
+                             .worker_stats = {}};
+  SimTime last_worker_done = start;
+  std::uint64_t merged_rows = 0;
+  std::uint64_t merged_bytes = 0;
+  for (QueryResult& partial : partials) {
+    last_worker_done = std::max(last_worker_done, partial.stats.end);
+    merged_rows += partial.row_count();
+    merged_bytes += partial.rows.size();
+    result.worker_stats.push_back(partial.stats);
+  }
+  const std::uint32_t width = result.output_schema.tuple_size();
+
+  if (!spec.aggregates.empty() && spec.group_by.empty()) {
+    // Scalar aggregates: fold worker values.
+    result.agg_values.resize(spec.aggregates.size());
+    for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+      result.agg_values[i] = AggMergeInit(spec.aggregates[i].fn);
+      for (const QueryResult& partial : partials) {
+        result.agg_values[i] = CombineAgg(spec.aggregates[i].fn,
+                                          result.agg_values[i],
+                                          partial.agg_values[i]);
+      }
+      const std::byte* p =
+          reinterpret_cast<const std::byte*>(&result.agg_values[i]);
+      result.rows.insert(result.rows.end(), p, p + 8);
+    }
+  } else if (!spec.aggregates.empty()) {
+    // GROUP BY: merge rows key-wise. The key is the row prefix before
+    // the aggregate values.
+    const std::uint32_t key_width =
+        width - 8u * static_cast<std::uint32_t>(spec.aggregates.size());
+    std::map<std::string, std::vector<std::int64_t>> groups;
+    for (const QueryResult& partial : partials) {
+      for (std::uint64_t r = 0; r < partial.row_count(); ++r) {
+        const std::byte* row = partial.rows.data() + r * width;
+        std::string key(reinterpret_cast<const char*>(row), key_width);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          std::vector<std::int64_t> init;
+          for (const exec::AggSpec& agg : spec.aggregates) {
+            init.push_back(AggMergeInit(agg.fn));
+          }
+          it = groups.emplace(std::move(key), std::move(init)).first;
+        }
+        for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+          std::int64_t v;
+          std::memcpy(&v, row + key_width + 8 * i, 8);
+          it->second[i] =
+              CombineAgg(spec.aggregates[i].fn, it->second[i], v);
+        }
+      }
+    }
+    for (const auto& [key, values] : groups) {
+      result.rows.insert(result.rows.end(),
+                         reinterpret_cast<const std::byte*>(key.data()),
+                         reinterpret_cast<const std::byte*>(key.data()) +
+                             key.size());
+      for (const std::int64_t v : values) {
+        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
+        result.rows.insert(result.rows.end(), p, p + 8);
+      }
+    }
+  } else {
+    // Projection: concatenate, then optionally re-select the top N.
+    for (const QueryResult& partial : partials) {
+      result.rows.insert(result.rows.end(), partial.rows.begin(),
+                         partial.rows.end());
+    }
+    if (spec.top_n.has_value()) {
+      // Locate the order column's byte offset within the output row.
+      std::uint32_t key_offset = 0;
+      std::uint32_t key_size = 0;
+      for (std::size_t i = 0; i < spec.projection.size(); ++i) {
+        const storage::Column& column =
+            partials[0].output_schema.column(static_cast<int>(i));
+        if (spec.projection[i] == spec.top_n->order_col) {
+          key_size = column.width;
+          break;
+        }
+        key_offset += column.width;
+      }
+      SMARTSSD_CHECK_GT(key_size, 0u);
+      const std::uint64_t total = result.rows.size() / width;
+      std::vector<std::uint64_t> order(total);
+      for (std::uint64_t i = 0; i < total; ++i) order[i] = i;
+      auto key_of = [&](std::uint64_t row) -> std::int64_t {
+        const std::byte* p =
+            result.rows.data() + row * width + key_offset;
+        if (key_size == 8) {
+          std::int64_t v;
+          std::memcpy(&v, p, 8);
+          return v;
+        }
+        std::int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint64_t a, std::uint64_t b) {
+                         return spec.top_n->descending
+                                    ? key_of(a) > key_of(b)
+                                    : key_of(a) < key_of(b);
+                       });
+      const std::uint64_t keep =
+          std::min<std::uint64_t>(spec.top_n->limit, total);
+      std::vector<std::byte> selected;
+      selected.reserve(keep * width);
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        const std::byte* row = result.rows.data() + order[i] * width;
+        selected.insert(selected.end(), row, row + width);
+      }
+      result.rows = std::move(selected);
+    }
+  }
+
+  // Merge cost on the coordinator's CPU (worker 0's host machine stands
+  // in for the single physical host).
+  const std::uint64_t merge_cycles = merged_rows * kMergeCyclesPerRow +
+                                     merged_bytes * kMergeCyclesPerByte;
+  result.end =
+      workers_[0]->host().Execute(merge_cycles, last_worker_done);
+  return result;
+}
+
+}  // namespace smartssd::engine

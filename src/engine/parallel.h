@@ -1,0 +1,97 @@
+#ifndef SMARTSSD_ENGINE_PARALLEL_H_
+#define SMARTSSD_ENGINE_PARALLEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+
+namespace smartssd::engine {
+
+// The end of Section 4.3's design spectrum, built out: "the host machine
+// could simply be the coordinator that stages computation across an
+// array of Smart SSDs, making the system look like a parallel DBMS with
+// the master node being the host server, and the worker nodes ... being
+// the Smart SSDs."
+//
+// A ParallelDatabase owns N single-device databases (the workers). Fact
+// tables are horizontally partitioned across the workers in contiguous
+// row ranges; small (join build-side) tables are replicated. A query is
+// dispatched to every worker at the same virtual instant — each worker
+// pushes it into its own Smart SSD — and the coordinator merges the
+// partial results on the host:
+//
+//   * scalar aggregates combine by their function (SUM/COUNT add,
+//     MIN/MAX fold);
+//   * GROUP BY results merge key-wise;
+//   * projections concatenate;
+//   * top-N re-selects the global top k (the order column must be part
+//     of the projection so the coordinator can see the keys).
+//
+// Modelling note: each worker device has a dedicated host link (one HBA
+// port per device, as in the paper's four-port HBA testbed), and in
+// pushdown mode the host does nothing per-tuple, so worker timelines are
+// independent; the merge is charged to the coordinator's CPU after the
+// last worker finishes.
+struct ParallelQueryResult {
+  storage::Schema output_schema;
+  std::vector<std::byte> rows;
+  std::vector<std::int64_t> agg_values;  // scalar aggregates, merged
+  SimTime start = 0;
+  SimTime end = 0;  // last worker done + merge
+  std::vector<QueryStats> worker_stats;
+
+  SimDuration elapsed() const { return end - start; }
+  double elapsed_seconds() const { return ToSeconds(elapsed()); }
+  std::uint64_t row_count() const {
+    const std::uint32_t width = output_schema.tuple_size();
+    return width == 0 ? 0 : rows.size() / width;
+  }
+};
+
+class ParallelDatabase {
+ public:
+  ParallelDatabase(int workers, const DatabaseOptions& options);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(ParallelDatabase);
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+  Database& worker(int i) { return *workers_[static_cast<std::size_t>(i)]; }
+
+  // Loads `row_count` rows partitioned into contiguous ranges, one per
+  // worker. The generator sees *global* row indexes, so the partitioned
+  // data is identical to a single-device load of the same table.
+  Status LoadPartitionedTable(const std::string& name,
+                              const storage::Schema& schema,
+                              storage::PageLayout layout,
+                              std::uint64_t row_count,
+                              const storage::RowGenerator& gen);
+
+  // Loads the full table on every worker (broadcast, for join inners).
+  Status LoadReplicatedTable(const std::string& name,
+                             const storage::Schema& schema,
+                             storage::PageLayout layout,
+                             std::uint64_t row_count,
+                             const storage::RowGenerator& gen);
+
+  // Dispatches the query to all workers at `start` and merges.
+  Result<ParallelQueryResult> Execute(const exec::QuerySpec& spec,
+                                      ExecutionTarget target,
+                                      SimTime start = 0);
+
+  void ResetForColdRun();
+
+ private:
+  Result<ParallelQueryResult> Merge(const exec::QuerySpec& spec,
+                                    std::vector<QueryResult> partials,
+                                    SimTime start);
+
+  std::vector<std::unique_ptr<Database>> workers_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_PARALLEL_H_

@@ -1,0 +1,66 @@
+#ifndef SMARTSSD_ENGINE_PLANNER_H_
+#define SMARTSSD_ENGINE_PLANNER_H_
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::engine {
+
+// Optimizer-style hints the caller may supply (the prototype has no
+// statistics subsystem; the paper's special path likewise relied on
+// knowing its queries).
+struct PlanHints {
+  // Fraction of outer tuples surviving the predicate.
+  double predicate_selectivity = 0.1;
+};
+
+struct PlanDecision {
+  ExecutionTarget target = ExecutionTarget::kHost;
+  std::string reason;
+  double est_host_seconds = 0;
+  double est_smart_seconds = 0;
+};
+
+// Decides whether to run a query the usual way or push it into the
+// Smart SSD. Encodes the rules Section 4.3 lays out:
+//
+//   1. no smart runtime -> host (trivially);
+//   2. dirty pages of any involved table in the buffer pool -> host
+//      (the device would compute over stale data);
+//   3. data already mostly cached -> host (pushdown would re-read flash
+//      for pages RAM already holds);
+//   4. the join hash table must fit device DRAM -> else host;
+//   5. otherwise, estimated cost decides: each path is a pipeline whose
+//      elapsed time is the max of its stage times (I/O, CPU, result
+//      transfer).
+class PushdownPlanner {
+ public:
+  explicit PushdownPlanner(Database* db);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PushdownPlanner);
+
+  Result<PlanDecision> Decide(const exec::BoundQuery& bound,
+                              const PlanHints& hints) const;
+
+  // The cost submodel, exposed for tests and ablations: estimated
+  // elapsed seconds for each path.
+  double EstimateHostSeconds(const exec::BoundQuery& bound,
+                             const PlanHints& hints) const;
+  double EstimateSmartSeconds(const exec::BoundQuery& bound,
+                              const PlanHints& hints) const;
+
+ private:
+  exec::OpCounts EstimateCounts(const exec::BoundQuery& bound,
+                                const PlanHints& hints,
+                                exec::OpCounts* build_counts) const;
+
+  Database* db_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_PLANNER_H_

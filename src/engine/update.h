@@ -1,0 +1,52 @@
+#ifndef SMARTSSD_ENGINE_UPDATE_H_
+#define SMARTSSD_ENGINE_UPDATE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/database.h"
+#include "expr/expression.h"
+#include "storage/tuple.h"
+
+namespace smartssd::engine {
+
+// Host-side updates through the buffer pool. Section 4.3: "queries with
+// any updates cannot be processed in the SSD without appropriate
+// coordination with the DBMS transaction manager" — so updates here are
+// host-only by design. Their side effects are exactly the coherence
+// hazards the pushdown rules guard against:
+//
+//   * updated pages sit dirty in the buffer pool, which makes the
+//     planner and executor refuse pushdown on the table until
+//     BufferPool::FlushAll() writes them back;
+//   * the table's zone map (if any) is dropped, since its statistics
+//     may no longer bound the stored values.
+class TableUpdater {
+ public:
+  explicit TableUpdater(Database* db);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(TableUpdater);
+
+  struct UpdateStats {
+    std::uint64_t rows_matched = 0;
+    std::uint64_t pages_dirtied = 0;
+    SimTime end = 0;
+  };
+
+  // Applies `mutate` to every row satisfying `predicate` (nullptr = all
+  // rows). The callback sees the current row and writes replacement
+  // fields through the TupleWriter (unwritten fields keep their value).
+  Result<UpdateStats> Update(
+      const std::string& table, const expr::Expression* predicate,
+      const std::function<void(const expr::RowView& row,
+                               storage::TupleWriter& writer)>& mutate,
+      SimTime start = 0);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_UPDATE_H_

@@ -1,0 +1,89 @@
+#ifndef SMARTSSD_EXEC_COST_MODEL_H_
+#define SMARTSSD_EXEC_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "expr/expression.h"
+#include "storage/types.h"
+
+namespace smartssd::exec {
+
+// Operation counts produced by actually executing a query kernel over
+// real page bytes. Counts are architecture-independent; the cost params
+// below convert them to cycles on a given processor.
+struct OpCounts {
+  std::uint64_t pages = 0;
+  std::uint64_t tuples = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t hash_inserts = 0;
+  std::uint64_t output_tuples = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t agg_updates = 0;
+  std::uint64_t group_updates = 0;  // GROUP BY hash-table updates
+  std::uint64_t topn_updates = 0;   // ORDER BY/LIMIT heap operations
+  expr::EvalStats eval;
+
+  OpCounts& operator+=(const OpCounts& other) {
+    pages += other.pages;
+    tuples += other.tuples;
+    probes += other.probes;
+    hash_inserts += other.hash_inserts;
+    output_tuples += other.output_tuples;
+    output_bytes += other.output_bytes;
+    agg_updates += other.agg_updates;
+    group_updates += other.group_updates;
+    topn_updates += other.topn_updates;
+    eval += other.eval;
+    return *this;
+  }
+};
+
+// Cycles charged per counted operation on one processor/layout pair.
+//
+// Calibration. The counts come from real execution; these constants are
+// fitted so that the simulated elapsed times land on the paper's
+// measured ratios, then *checked* against every other experiment (see
+// EXPERIMENTS.md). The embedded numbers encode a 2013-era in-order ARM
+// running interpreted operator code inside firmware; the host numbers an
+// out-of-order Xeon running a mature commercial executor. Two structural
+// choices matter more than any single constant:
+//
+//  * page_per_column models per-page directory/minipage setup, so wide
+//    schemas (Synthetic64) cost more per page than LINEITEM — this is
+//    what separates the join query's 2.2x from Q6's 1.7x;
+//  * probe cost steps up when the hash table outgrows the processor's
+//    cache (probe_large), which is why TPC-H Q14 (20M-entry PART table)
+//    only reaches 1.3x while the 1M-entry synthetic join reaches 2.2x.
+struct CpuCostParams {
+  std::uint64_t page_base = 0;        // per page: header parse, DMA mgmt
+  std::uint64_t page_per_column = 0;  // per page per schema column
+  std::uint64_t tuple_base = 0;       // per tuple: slot walk, loop body
+  std::uint64_t comparison = 0;
+  std::uint64_t arithmetic = 0;
+  std::uint64_t column_read = 0;
+  std::uint64_t like_eval = 0;
+  std::uint64_t case_eval = 0;
+  std::uint64_t probe_small = 0;  // hash table fits cache
+  std::uint64_t probe_large = 0;  // hash table spills to DRAM
+  std::uint64_t probe_large_threshold_entries = 0;
+  std::uint64_t hash_insert = 0;
+  std::uint64_t output_tuple = 0;  // result slot alloc, header update
+  std::uint64_t output_byte = 0;   // result copy, per byte
+  std::uint64_t agg_update = 0;
+  std::uint64_t group_update = 0;  // GROUP BY key hash + state lookup
+  std::uint64_t topn_update = 0;   // ORDER BY/LIMIT heap compare/sift
+};
+
+// Calibrated parameter sets. `layout` selects NSM (tuple-at-a-time,
+// strided field access) vs PAX (column-local access) costs.
+CpuCostParams EmbeddedCostParams(storage::PageLayout layout);
+CpuCostParams HostCostParams(storage::PageLayout layout);
+
+// Converts counts to cycles. `schema_columns` scales the per-page
+// directory cost; `hash_entries` picks the probe cost tier.
+std::uint64_t Cycles(const OpCounts& counts, const CpuCostParams& params,
+                     int schema_columns, std::uint64_t hash_entries);
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_COST_MODEL_H_

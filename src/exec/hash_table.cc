@@ -1,0 +1,100 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+
+namespace smartssd::exec {
+
+namespace {
+
+std::uint64_t HashKey(std::int64_t key) {
+  // Fibonacci-style mix; adequate for integer keys.
+  std::uint64_t x = static_cast<std::uint64_t>(key);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t NextPow2(std::uint64_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+}  // namespace
+
+JoinHashTable::JoinHashTable(std::uint32_t payload_width,
+                             std::uint64_t expected_entries)
+    : payload_width_(payload_width) {
+  // Target load factor ~0.7.
+  const std::uint64_t slots =
+      NextPow2(expected_entries + expected_entries / 2 + 8);
+  slots_.resize(static_cast<std::size_t>(slots));
+  payloads_.reserve(static_cast<std::size_t>(expected_entries) *
+                    payload_width);
+}
+
+std::size_t JoinHashTable::SlotFor(std::int64_t key) const {
+  return static_cast<std::size_t>(HashKey(key) & (slots_.size() - 1));
+}
+
+Status JoinHashTable::Insert(std::int64_t key,
+                             std::span<const std::byte> payload) {
+  if (payload.size() != payload_width_) {
+    return InvalidArgumentError("hash insert: wrong payload width");
+  }
+  if ((entries_ + entries_ / 2) >= slots_.size()) Grow();
+  std::size_t i = SlotFor(key);
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.payload_offset_plus_one == 0) {
+      slot.key = key;
+      slot.payload_offset_plus_one = payloads_.size() + 1;
+      payloads_.insert(payloads_.end(), payload.begin(), payload.end());
+      ++entries_;
+      return Status::OK();
+    }
+    if (slot.key == key) {
+      return AlreadyExistsError("hash insert: duplicate join key");
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+const std::byte* JoinHashTable::Probe(std::int64_t key) const {
+  std::size_t i = SlotFor(key);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (slot.payload_offset_plus_one == 0) return nullptr;
+    if (slot.key == key) {
+      if (payload_width_ == 0) {
+        // Zero-width payloads still need a non-null "present" marker.
+        static constexpr std::byte kEmptyPayload{};
+        return &kEmptyPayload;
+      }
+      return payloads_.data() + (slot.payload_offset_plus_one - 1);
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+void JoinHashTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  for (const Slot& slot : old) {
+    if (slot.payload_offset_plus_one == 0) continue;
+    std::size_t i = SlotFor(slot.key);
+    while (slots_[i].payload_offset_plus_one != 0) {
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = slot;
+  }
+}
+
+std::uint64_t JoinHashTable::EstimateBytes(std::uint64_t entries,
+                                           std::uint32_t payload_width) {
+  const std::uint64_t slots = NextPow2(entries + entries / 2 + 8);
+  return slots * sizeof(Slot) + entries * payload_width;
+}
+
+}  // namespace smartssd::exec

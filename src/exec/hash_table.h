@@ -1,0 +1,65 @@
+#ifndef SMARTSSD_EXEC_HASH_TABLE_H_
+#define SMARTSSD_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace smartssd::exec {
+
+// Open-addressing hash table for the paper's "simple hash join": built
+// once over the (small) inner table, probed per outer tuple. Keys are
+// 64-bit integers (the joins are FK -> unique PK equi-joins); each entry
+// carries a fixed-width payload of the inner columns the query needs.
+//
+// The footprint is what the pushdown planner checks against device DRAM:
+// slot array + payload pool.
+class JoinHashTable {
+ public:
+  // `payload_width` bytes per entry; `expected_entries` sizes the table
+  // (it grows if exceeded, doubling).
+  JoinHashTable(std::uint32_t payload_width,
+                std::uint64_t expected_entries);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(JoinHashTable);
+  JoinHashTable(JoinHashTable&&) = default;
+  JoinHashTable& operator=(JoinHashTable&&) = default;
+
+  // Inserts key -> payload. Duplicate keys are rejected (inner sides of
+  // the paper's joins are primary keys).
+  Status Insert(std::int64_t key, std::span<const std::byte> payload);
+
+  // Returns the payload for `key`, or nullptr if absent.
+  const std::byte* Probe(std::int64_t key) const;
+
+  std::uint64_t entries() const { return entries_; }
+  std::uint32_t payload_width() const { return payload_width_; }
+  std::uint64_t memory_bytes() const {
+    return slots_.size() * sizeof(Slot) + payloads_.size();
+  }
+
+  // Conservative size estimate for `entries` rows, used by the planner
+  // before the table exists.
+  static std::uint64_t EstimateBytes(std::uint64_t entries,
+                                     std::uint32_t payload_width);
+
+ private:
+  struct Slot {
+    std::int64_t key = 0;
+    std::uint64_t payload_offset_plus_one = 0;  // 0 = empty
+  };
+
+  void Grow();
+  std::size_t SlotFor(std::int64_t key) const;
+
+  std::uint32_t payload_width_;
+  std::uint64_t entries_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::byte> payloads_;
+};
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_HASH_TABLE_H_

@@ -1,0 +1,387 @@
+#include "exec/page_processor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "storage/nsm_page.h"
+#include "storage/pax_page.h"
+
+namespace smartssd::exec {
+
+namespace {
+
+// Row view over the combined row: outer columns come from the scanned
+// tuple, payload columns from the probe hit's payload blob.
+class CombinedRowView final : public expr::RowView {
+ public:
+  CombinedRowView(const BoundQuery* bound, const expr::RowView* outer)
+      : bound_(bound), outer_(outer) {}
+
+  void SetPayload(const std::byte* payload) { payload_ = payload; }
+
+  expr::Value GetColumn(int col) const override {
+    const int outer_columns = bound_->outer_columns();
+    if (col < outer_columns) return outer_->GetColumn(col);
+    SMARTSSD_CHECK(payload_ != nullptr);
+    const int payload_index = col - outer_columns;
+    const std::byte* p =
+        payload_ +
+        bound_->payload_offsets[static_cast<std::size_t>(payload_index)];
+    const storage::Column& column = bound_->combined_schema.column(col);
+    switch (column.type) {
+      case storage::ColumnType::kInt32: {
+        std::int32_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return expr::Value::Int(v);
+      }
+      case storage::ColumnType::kInt64: {
+        std::int64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return expr::Value::Int(v);
+      }
+      case storage::ColumnType::kFixedChar:
+        return expr::Value::String(
+            {reinterpret_cast<const char*>(p), column.width});
+    }
+    return expr::Value::Null();
+  }
+
+ private:
+  const BoundQuery* bound_;
+  const expr::RowView* outer_;
+  const std::byte* payload_ = nullptr;
+};
+
+std::int64_t AggInit(AggSpec::Fn fn) {
+  switch (fn) {
+    case AggSpec::Fn::kSum:
+    case AggSpec::Fn::kCount:
+      return 0;
+    case AggSpec::Fn::kMin:
+      return std::numeric_limits<std::int64_t>::max();
+    case AggSpec::Fn::kMax:
+      return std::numeric_limits<std::int64_t>::min();
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> AggInitStates(const QuerySpec& spec) {
+  std::vector<std::int64_t> states;
+  states.reserve(spec.aggregates.size());
+  for (const AggSpec& agg : spec.aggregates) {
+    states.push_back(AggInit(agg.fn));
+  }
+  return states;
+}
+
+}  // namespace
+
+PageProcessor::PageProcessor(const BoundQuery* bound,
+                             const JoinHashTable* hash_table)
+    : bound_(bound), hash_table_(hash_table) {
+  SMARTSSD_CHECK(bound != nullptr);
+  SMARTSSD_CHECK_EQ(bound->spec->join.has_value(), hash_table != nullptr);
+  const QuerySpec& spec = *bound->spec;
+  agg_state_ = AggInitStates(spec);
+  if (spec.aggregates.empty()) {
+    for (const int col : spec.projection) {
+      output_row_width_ += bound->combined_schema.column(col).width;
+    }
+  } else {
+    for (const int col : spec.group_by) {
+      output_row_width_ += bound->combined_schema.column(col).width;
+    }
+    output_row_width_ +=
+        8u * static_cast<std::uint32_t>(spec.aggregates.size());
+  }
+  if (spec.top_n.has_value()) {
+    top_n_.reserve(spec.top_n->limit + 1);
+  }
+}
+
+void PageProcessor::AppendColumnBytes(
+    const std::vector<int>& columns,
+    const std::function<const std::byte*(int col)>& outer_col_bytes,
+    const std::byte* payload, OpCounts* counts,
+    std::vector<std::byte>* out) const {
+  const int outer_columns = bound_->outer_columns();
+  for (const int col : columns) {
+    const std::uint32_t width = bound_->combined_schema.column(col).width;
+    const std::byte* src;
+    if (col < outer_columns) {
+      ++counts->eval.column_reads;
+      src = outer_col_bytes(col);
+    } else {
+      SMARTSSD_CHECK(payload != nullptr);
+      src = payload + bound_->payload_offsets[static_cast<std::size_t>(
+                          col - outer_columns)];
+    }
+    out->insert(out->end(), src, src + width);
+  }
+}
+
+Status PageProcessor::UpdateAggregates(const expr::RowView& combined_view,
+                                       std::vector<std::int64_t>* states,
+                                       OpCounts* counts) {
+  const QuerySpec& spec = *bound_->spec;
+  for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+    const AggSpec& agg = spec.aggregates[i];
+    ++counts->agg_updates;
+    if (agg.fn == AggSpec::Fn::kCount && agg.input == nullptr) {
+      ++(*states)[i];
+      continue;
+    }
+    const std::int64_t v =
+        agg.input->Evaluate(combined_view, &counts->eval).AsInt();
+    switch (agg.fn) {
+      case AggSpec::Fn::kSum:
+        (*states)[i] += v;
+        break;
+      case AggSpec::Fn::kCount:
+        ++(*states)[i];
+        break;
+      case AggSpec::Fn::kMin:
+        (*states)[i] = std::min((*states)[i], v);
+        break;
+      case AggSpec::Fn::kMax:
+        (*states)[i] = std::max((*states)[i], v);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void PageProcessor::PushTopN(std::int64_t key, std::vector<std::byte> row,
+                             OpCounts* counts) {
+  const TopNSpec& top_n = *bound_->spec->top_n;
+  // Heap comparator: the *worst* kept row on top. Ascending keeps the k
+  // smallest, so "worst" is the largest key (max-heap); descending is
+  // the mirror image.
+  auto worse = [&top_n](const std::pair<std::int64_t,
+                                        std::vector<std::byte>>& a,
+                        const std::pair<std::int64_t,
+                                        std::vector<std::byte>>& b) {
+    return top_n.descending ? a.first > b.first : a.first < b.first;
+  };
+  ++counts->topn_updates;
+  if (top_n_.size() < top_n.limit) {
+    top_n_.emplace_back(key, std::move(row));
+    std::push_heap(top_n_.begin(), top_n_.end(), worse);
+    return;
+  }
+  const std::int64_t worst = top_n_.front().first;
+  const bool better = top_n.descending ? key > worst : key < worst;
+  if (!better) return;
+  std::pop_heap(top_n_.begin(), top_n_.end(), worse);
+  top_n_.back() = {key, std::move(row)};
+  std::push_heap(top_n_.begin(), top_n_.end(), worse);
+}
+
+Status PageProcessor::HandleTuple(
+    const expr::RowView& outer_view,
+    const std::function<const std::byte*(int col)>& outer_col_bytes,
+    OpCounts* counts, std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  CombinedRowView combined(bound_, &outer_view);
+  const std::byte* payload = nullptr;
+
+  auto probe = [&]() -> bool {
+    ++counts->eval.column_reads;  // read the FK
+    const std::int64_t key =
+        outer_view.GetColumn(spec.join->outer_key_col).AsInt();
+    ++counts->probes;
+    payload = hash_table_->Probe(key);
+    if (payload == nullptr) return false;
+    combined.SetPayload(payload);
+    return true;
+  };
+
+  if (spec.order == PipelineOrder::kFilterFirst) {
+    if (spec.predicate != nullptr &&
+        !spec.predicate->Evaluate(outer_view, &counts->eval).AsBool()) {
+      return Status::OK();
+    }
+    if (spec.join.has_value() && !probe()) return Status::OK();
+  } else {
+    if (!probe()) return Status::OK();
+    if (spec.predicate != nullptr &&
+        !spec.predicate->Evaluate(combined, &counts->eval).AsBool()) {
+      return Status::OK();
+    }
+  }
+
+  if (!spec.aggregates.empty()) {
+    if (spec.group_by.empty()) {
+      return UpdateAggregates(combined, &agg_state_, counts);
+    }
+    // Grouped aggregation: key bytes -> running states.
+    group_key_scratch_.clear();
+    {
+      row_scratch_.clear();
+      AppendColumnBytes(spec.group_by, outer_col_bytes, payload, counts,
+                        &row_scratch_);
+      group_key_scratch_.assign(
+          reinterpret_cast<const char*>(row_scratch_.data()),
+          row_scratch_.size());
+    }
+    ++counts->group_updates;
+    auto it = groups_.find(group_key_scratch_);
+    if (it == groups_.end()) {
+      it = groups_.emplace(group_key_scratch_, AggInitStates(spec)).first;
+    }
+    return UpdateAggregates(combined, &it->second, counts);
+  }
+
+  // Projection path: serialize the output row.
+  row_scratch_.clear();
+  AppendColumnBytes(spec.projection, outer_col_bytes, payload, counts,
+                    &row_scratch_);
+  if (spec.top_n.has_value()) {
+    ++counts->eval.column_reads;
+    const std::int64_t key =
+        combined.GetColumn(spec.top_n->order_col).AsInt();
+    PushTopN(key, row_scratch_, counts);
+    return Status::OK();
+  }
+  out->insert(out->end(), row_scratch_.begin(), row_scratch_.end());
+  ++counts->output_tuples;
+  counts->output_bytes += output_row_width_;
+  ++rows_output_;
+  return Status::OK();
+}
+
+Status PageProcessor::ProcessPage(std::span<const std::byte> page,
+                                  OpCounts* counts,
+                                  std::vector<std::byte>* out) {
+  ++counts->pages;
+  const storage::Schema& schema = bound_->outer->schema;
+  if (bound_->outer->layout == storage::PageLayout::kNsm) {
+    SMARTSSD_ASSIGN_OR_RETURN(const storage::NsmPageReader reader,
+                              storage::NsmPageReader::Open(&schema, page));
+    for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+      ++counts->tuples;
+      const std::byte* tuple = reader.tuple(i);
+      expr::NsmRowView view(&schema, tuple);
+      auto col_bytes = [&](int col) -> const std::byte* {
+        return tuple + schema.offset(col);
+      };
+      SMARTSSD_RETURN_IF_ERROR(HandleTuple(view, col_bytes, counts, out));
+    }
+    return Status::OK();
+  }
+  SMARTSSD_ASSIGN_OR_RETURN(const storage::PaxPageReader reader,
+                            storage::PaxPageReader::Open(&schema, page));
+  for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+    ++counts->tuples;
+    expr::PaxRowView view(&schema, &reader, i);
+    auto col_bytes = [&](int col) -> const std::byte* {
+      return reader.value(i, col);
+    };
+    SMARTSSD_RETURN_IF_ERROR(HandleTuple(view, col_bytes, counts, out));
+  }
+  return Status::OK();
+}
+
+Status PageProcessor::Finish(OpCounts* counts, std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  if (!spec.aggregates.empty()) {
+    if (spec.group_by.empty()) {
+      for (const std::int64_t v : agg_state_) {
+        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
+        out->insert(out->end(), p, p + sizeof(v));
+      }
+      ++counts->output_tuples;
+      counts->output_bytes += output_row_width_;
+      ++rows_output_;
+      return Status::OK();
+    }
+    // One row per group, in key order (std::map iteration).
+    for (const auto& [key, states] : groups_) {
+      out->insert(out->end(),
+                  reinterpret_cast<const std::byte*>(key.data()),
+                  reinterpret_cast<const std::byte*>(key.data()) +
+                      key.size());
+      for (const std::int64_t v : states) {
+        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
+        out->insert(out->end(), p, p + sizeof(v));
+      }
+      ++counts->output_tuples;
+      counts->output_bytes += output_row_width_;
+      ++rows_output_;
+    }
+    return Status::OK();
+  }
+  if (spec.top_n.has_value()) {
+    // Drain the heap into sort order.
+    std::sort(top_n_.begin(), top_n_.end(),
+              [&](const auto& a, const auto& b) {
+                return spec.top_n->descending ? a.first > b.first
+                                              : a.first < b.first;
+              });
+    for (const auto& [key, row] : top_n_) {
+      out->insert(out->end(), row.begin(), row.end());
+      ++counts->output_tuples;
+      counts->output_bytes += output_row_width_;
+      ++rows_output_;
+    }
+  }
+  return Status::OK();
+}
+
+Result<JoinHashTable> BuildJoinHashTable(
+    const BoundQuery& bound,
+    const std::function<Result<std::span<const std::byte>>(
+        std::uint64_t page_index)>& read_page,
+    OpCounts* counts) {
+  SMARTSSD_CHECK(bound.spec->join.has_value());
+  const JoinSpec& join = *bound.spec->join;
+  const storage::TableInfo& inner = *bound.inner;
+  JoinHashTable table(bound.payload_width, inner.tuple_count);
+  std::vector<std::byte> payload(bound.payload_width);
+
+  for (std::uint64_t p = 0; p < inner.page_count; ++p) {
+    SMARTSSD_ASSIGN_OR_RETURN(std::span<const std::byte> page, read_page(p));
+    ++counts->pages;
+    auto insert_tuple = [&](const expr::RowView& view,
+                            auto col_bytes) -> Status {
+      ++counts->tuples;
+      ++counts->eval.column_reads;
+      const std::int64_t key =
+          view.GetColumn(join.inner_key_col).AsInt();
+      std::size_t offset = 0;
+      for (const int col : join.inner_payload_cols) {
+        ++counts->eval.column_reads;
+        const std::uint32_t width = inner.schema.column(col).width;
+        std::memcpy(payload.data() + offset, col_bytes(col), width);
+        offset += width;
+      }
+      ++counts->hash_inserts;
+      return table.Insert(key, payload);
+    };
+    if (inner.layout == storage::PageLayout::kNsm) {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const storage::NsmPageReader reader,
+          storage::NsmPageReader::Open(&inner.schema, page));
+      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+        const std::byte* tuple = reader.tuple(i);
+        expr::NsmRowView view(&inner.schema, tuple);
+        SMARTSSD_RETURN_IF_ERROR(insert_tuple(view, [&](int col) {
+          return tuple + inner.schema.offset(col);
+        }));
+      }
+    } else {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const storage::PaxPageReader reader,
+          storage::PaxPageReader::Open(&inner.schema, page));
+      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+        expr::PaxRowView view(&inner.schema, &reader, i);
+        SMARTSSD_RETURN_IF_ERROR(insert_tuple(
+            view, [&](int col) { return reader.value(i, col); }));
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace smartssd::exec

@@ -1,0 +1,98 @@
+#ifndef SMARTSSD_EXEC_PAGE_PROCESSOR_H_
+#define SMARTSSD_EXEC_PAGE_PROCESSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "exec/cost_model.h"
+#include "exec/hash_table.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::exec {
+
+// Executes a bound query pipeline over one page at a time, producing
+// real output rows and the operation counts the cost models charge.
+//
+// This kernel is deliberately shared between the host executor and the
+// in-SSD pushdown program: both run exactly the same code over exactly
+// the same bytes and therefore produce identical results and identical
+// counts — only the cycles-per-operation (and the data path the pages
+// took to get here) differ. That is the paper's setup: the same operator
+// logic compiled for the host and for the device firmware.
+class PageProcessor {
+ public:
+  // `hash_table` must outlive the processor and is required iff the
+  // query has a join.
+  PageProcessor(const BoundQuery* bound, const JoinHashTable* hash_table);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PageProcessor);
+
+  // Processes one outer-table page. Serialized output rows (packed
+  // fixed-width, per OutputSchema) are appended to `out`.
+  Status ProcessPage(std::span<const std::byte> page, OpCounts* counts,
+                     std::vector<std::byte>* out);
+
+  // Emits the final rows: the scalar aggregate row, the per-group rows
+  // (GROUP BY, in key order), or the top-N rows (in sort order).
+  Status Finish(OpCounts* counts, std::vector<std::byte>* out);
+
+  const std::vector<std::int64_t>& agg_state() const { return agg_state_; }
+  // Grouped aggregation state: serialized group key -> per-agg values.
+  const std::map<std::string, std::vector<std::int64_t>>& groups() const {
+    return groups_;
+  }
+  std::uint32_t output_row_width() const { return output_row_width_; }
+  std::uint64_t rows_output() const { return rows_output_; }
+
+ private:
+  Status HandleTuple(
+      const expr::RowView& outer_view,
+      const std::function<const std::byte*(int col)>& outer_col_bytes,
+      OpCounts* counts, std::vector<std::byte>* out);
+
+  // Copies the raw bytes of combined-row columns (outer or payload) to
+  // `out`, counting the outer column reads.
+  void AppendColumnBytes(
+      const std::vector<int>& columns,
+      const std::function<const std::byte*(int col)>& outer_col_bytes,
+      const std::byte* payload, OpCounts* counts,
+      std::vector<std::byte>* out) const;
+
+  Status UpdateAggregates(const expr::RowView& combined_view,
+                          std::vector<std::int64_t>* states,
+                          OpCounts* counts);
+
+  void PushTopN(std::int64_t key, std::vector<std::byte> row,
+                OpCounts* counts);
+
+  const BoundQuery* bound_;
+  const JoinHashTable* hash_table_;
+  std::vector<std::int64_t> agg_state_;           // scalar aggregation
+  std::map<std::string, std::vector<std::int64_t>> groups_;  // GROUP BY
+  // Top-N candidates as a binary heap ordered so the *worst* kept row is
+  // on top (max-heap for ascending order, min-heap for descending).
+  std::vector<std::pair<std::int64_t, std::vector<std::byte>>> top_n_;
+  std::string group_key_scratch_;
+  std::vector<std::byte> row_scratch_;
+  std::uint32_t output_row_width_ = 0;
+  std::uint64_t rows_output_ = 0;
+};
+
+// Builds the join hash table by scanning the inner table's pages through
+// `read_page` (the caller decides whether pages arrive via the host path
+// or the device-internal path — and charges that I/O accordingly).
+// Counts the build work into `counts`.
+Result<JoinHashTable> BuildJoinHashTable(
+    const BoundQuery& bound,
+    const std::function<Result<std::span<const std::byte>>(
+        std::uint64_t page_index)>& read_page,
+    OpCounts* counts);
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_PAGE_PROCESSOR_H_

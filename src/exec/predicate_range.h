@@ -1,0 +1,30 @@
+#ifndef SMARTSSD_EXEC_PREDICATE_RANGE_H_
+#define SMARTSSD_EXEC_PREDICATE_RANGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+#include "expr/expression.h"
+
+namespace smartssd::exec {
+
+// The value interval a predicate allows for one column.
+struct ColumnRange {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  bool impossible() const { return lo > hi; }
+};
+
+// Derives per-column ranges from a predicate's top-level conjunction:
+// every conjunct of the form "column <op> int-literal" narrows that
+// column's interval; anything else (ORs, arithmetic, string matches) is
+// conservatively ignored. The result is sound for pruning: a row
+// violating any returned range cannot satisfy the predicate.
+std::map<int, ColumnRange> ExtractColumnRanges(
+    const expr::Expression* predicate);
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_PREDICATE_RANGE_H_

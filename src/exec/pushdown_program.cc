@@ -1,0 +1,143 @@
+#include "exec/pushdown_program.h"
+
+#include <algorithm>
+
+namespace smartssd::exec {
+
+PushdownProgram::PushdownProgram(const BoundQuery* bound,
+                                 const storage::ZoneMap* zone_map)
+    : bound_(bound),
+      outer_params_(EmbeddedCostParams(bound->outer->layout)),
+      zone_map_(zone_map) {
+  if (zone_map_ != nullptr) {
+    // Only outer-column ranges are usable for extent pruning.
+    for (auto& [col, range] :
+         ExtractColumnRanges(bound->spec->predicate.get())) {
+      if (col < bound->outer_columns() && zone_map_->TracksColumn(col)) {
+        prune_ranges_.emplace(col, range);
+      }
+    }
+  }
+}
+
+std::string_view PushdownProgram::name() const {
+  return bound_->spec->name;
+}
+
+std::uint64_t PushdownProgram::DramBytesRequired() const {
+  // Streaming buffers plus, for joins, the estimated hash table. The
+  // runtime reserves this before the build; the planner makes the same
+  // estimate when deciding whether pushdown is feasible at all. The
+  // device-resident zone-map copy counts too.
+  std::uint64_t bytes = 2ull * 1024 * 1024;
+  if (bound_->spec->join.has_value()) {
+    bytes += JoinHashTable::EstimateBytes(bound_->inner->tuple_count,
+                                          bound_->payload_width);
+  }
+  if (zone_map_ != nullptr) bytes += zone_map_->memory_bytes();
+  return bytes;
+}
+
+Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
+                                      SimTime ready) {
+  SimTime done = ready;
+  if (bound_->spec->join.has_value()) {
+    // Build phase: stream the inner table through the internal path and
+    // hash it in device DRAM.
+    const storage::TableInfo& inner = *bound_->inner;
+    SimTime io_done = ready;
+    for (std::uint64_t p = 0; p < inner.page_count; ++p) {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          io_done, device.ReadInternal(inner.first_lpn + p, ready));
+    }
+    OpCounts build_counts;
+    auto read_page = [&](std::uint64_t page_index)
+        -> Result<std::span<const std::byte>> {
+      std::span<const std::byte> view =
+          device.ViewPage(inner.first_lpn + page_index);
+      if (view.empty()) {
+        return CorruptionError("inner table page is unmapped");
+      }
+      return view;
+    };
+    SMARTSSD_ASSIGN_OR_RETURN(
+        JoinHashTable table,
+        BuildJoinHashTable(*bound_, read_page, &build_counts));
+    hash_table_.emplace(std::move(table));
+    counts_ += build_counts;
+    // The build is single-threaded firmware code on one embedded core.
+    const std::uint64_t cycles =
+        Cycles(build_counts, EmbeddedCostParams(inner.layout),
+               inner.schema.num_columns(), 0);
+    done = device.Execute(cycles, io_done);
+  }
+  if (!prune_ranges_.empty()) {
+    // Extent filtering against the zone map: a couple of cycles per
+    // page entry on one embedded core.
+    done = device.Execute(bound_->outer->page_count * 2, done);
+  }
+  processor_ = std::make_unique<PageProcessor>(
+      bound_, hash_table_.has_value() ? &*hash_table_ : nullptr);
+  return done;
+}
+
+std::vector<smart::LpnRange> PushdownProgram::InputExtents() const {
+  const storage::TableInfo& outer = *bound_->outer;
+  if (prune_ranges_.empty()) {
+    return {{outer.first_lpn, outer.page_count}};
+  }
+  // Zone-map pruning: stream only pages whose per-column [min, max]
+  // intersects every predicate range, as coalesced runs.
+  pages_skipped_ = 0;  // recomputed on every call
+  std::vector<smart::LpnRange> extents;
+  for (std::uint64_t p = 0; p < outer.page_count; ++p) {
+    bool may_match = true;
+    for (const auto& [col, range] : prune_ranges_) {
+      if (!zone_map_->PageMayMatch(p, col, range.lo, range.hi)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (!may_match) {
+      ++pages_skipped_;
+      continue;
+    }
+    if (!extents.empty() && extents.back().first_lpn +
+                                    extents.back().count ==
+                                outer.first_lpn + p) {
+      ++extents.back().count;
+    } else {
+      extents.push_back({outer.first_lpn + p, 1});
+    }
+  }
+  return extents;
+}
+
+Result<smart::ProgramCharge> PushdownProgram::ProcessPage(
+    std::span<const std::byte> page, smart::ResultSink& sink) {
+  SMARTSSD_CHECK(processor_ != nullptr);  // Open() must run first
+  OpCounts page_counts;
+  scratch_.clear();
+  SMARTSSD_RETURN_IF_ERROR(
+      processor_->ProcessPage(page, &page_counts, &scratch_));
+  if (!scratch_.empty()) sink.Emit(scratch_);
+  counts_ += page_counts;
+  return smart::ProgramCharge{
+      .cycles = Cycles(page_counts, outer_params_,
+                       bound_->outer->schema.num_columns(), HashEntries())};
+}
+
+Result<smart::ProgramCharge> PushdownProgram::Finish(
+    smart::ResultSink& sink) {
+  SMARTSSD_CHECK(processor_ != nullptr);
+  OpCounts final_counts;
+  scratch_.clear();
+  SMARTSSD_RETURN_IF_ERROR(processor_->Finish(&final_counts, &scratch_));
+  if (!scratch_.empty()) sink.Emit(scratch_);
+  counts_ += final_counts;
+  return smart::ProgramCharge{
+      .cycles = Cycles(final_counts, outer_params_,
+                       bound_->outer->schema.num_columns(), HashEntries())};
+}
+
+}  // namespace smartssd::exec

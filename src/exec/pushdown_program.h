@@ -1,0 +1,71 @@
+#ifndef SMARTSSD_EXEC_PUSHDOWN_PROGRAM_H_
+#define SMARTSSD_EXEC_PUSHDOWN_PROGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/cost_model.h"
+#include "exec/hash_table.h"
+#include "exec/page_processor.h"
+#include "exec/predicate_range.h"
+#include "exec/query_spec.h"
+#include "smart/program.h"
+#include "storage/zone_map.h"
+
+namespace smartssd::exec {
+
+// The operator code that gets "uploaded" into the Smart SSD (Section 3):
+// an InSsdProgram that runs a bound query pipeline on the device. Its
+// build phase (for joins) reads the inner table through the internal
+// data path, its per-page work is charged to the embedded cores with the
+// embedded cost parameters, and only result tuples leave the device.
+class PushdownProgram final : public smart::InSsdProgram {
+ public:
+  // `zone_map` (optional) is the device-resident copy of the outer
+  // table's per-page statistics: the program prunes its input extents
+  // with it, so non-matching pages are never even read from flash —
+  // in-SSD indexing.
+  explicit PushdownProgram(const BoundQuery* bound,
+                           const storage::ZoneMap* zone_map = nullptr);
+
+  std::string_view name() const override;
+
+  Result<SimTime> Open(smart::DeviceServices& device,
+                       SimTime ready) override;
+
+  std::vector<smart::LpnRange> InputExtents() const override;
+
+  Result<smart::ProgramCharge> ProcessPage(std::span<const std::byte> page,
+                                           smart::ResultSink& sink) override;
+
+  Result<smart::ProgramCharge> Finish(smart::ResultSink& sink) override;
+
+  std::uint64_t DramBytesRequired() const override;
+
+  // Total counts, for inspection/EXPERIMENTS reporting.
+  const OpCounts& counts() const { return counts_; }
+  const std::vector<std::int64_t>& agg_state() const {
+    return processor_->agg_state();
+  }
+  std::uint64_t pages_skipped() const { return pages_skipped_; }
+
+ private:
+  std::uint64_t HashEntries() const {
+    return hash_table_.has_value() ? hash_table_->entries() : 0;
+  }
+
+  const BoundQuery* bound_;
+  CpuCostParams outer_params_;
+  const storage::ZoneMap* zone_map_;
+  std::map<int, ColumnRange> prune_ranges_;  // outer columns only
+  mutable std::uint64_t pages_skipped_ = 0;
+  std::optional<JoinHashTable> hash_table_;
+  std::unique_ptr<PageProcessor> processor_;
+  OpCounts counts_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_PUSHDOWN_PROGRAM_H_

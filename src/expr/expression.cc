@@ -1,0 +1,458 @@
+#include "expr/expression.h"
+
+#include <utility>
+
+namespace smartssd::expr {
+
+namespace {
+
+// Compares two values of the same family; strings compare
+// lexicographically (fixed CHARs are space-padded, so padding is
+// order-neutral for equal-width operands).
+int CompareValues(const Value& a, const Value& b) {
+  if (a.type() == Value::Type::kString) {
+    SMARTSSD_CHECK(b.type() == Value::Type::kString);
+    return a.AsString().compare(b.AsString());
+  }
+  if (a.type() == Value::Type::kDouble || b.type() == Value::Type::kDouble) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const std::int64_t x = a.AsInt();
+  const std::int64_t y = b.AsInt();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+class ColumnExpr final : public Expression {
+ public:
+  explicit ColumnExpr(int column) : column_(column) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    ++stats->column_reads;
+    return row.GetColumn(column_);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    if (column_ < 0 || column_ >= schema.num_columns()) {
+      return InvalidArgumentError("column index out of range");
+    }
+    return Status::OK();
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    columns->push_back(column_);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    ++stats->column_reads;
+  }
+
+  std::optional<int> AsColumnRef() const override { return column_; }
+
+  std::string ToString() const override {
+    return "$" + std::to_string(column_);
+  }
+
+ private:
+  int column_;
+};
+
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(std::int64_t v) : int_value_(v), is_string_(false) {}
+  explicit LiteralExpr(std::string s)
+      : string_value_(std::move(s)), is_string_(true) {}
+
+  Value Evaluate(const RowView&, EvalStats*) const override {
+    return is_string_ ? Value::String(string_value_)
+                      : Value::Int(int_value_);
+  }
+
+  Status Validate(const storage::Schema&) const override {
+    return Status::OK();
+  }
+
+  void CollectColumns(std::vector<int>*) const override {}
+
+  void EstimateOps(EvalStats*) const override {}
+
+  std::optional<std::int64_t> AsIntLiteral() const override {
+    if (is_string_) return std::nullopt;
+    return int_value_;
+  }
+
+  std::string ToString() const override {
+    return is_string_ ? "'" + string_value_ + "'"
+                      : std::to_string(int_value_);
+  }
+
+ private:
+  std::int64_t int_value_ = 0;
+  std::string string_value_;
+  bool is_string_;
+};
+
+class CompareExpr final : public Expression {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    const Value l = lhs_->Evaluate(row, stats);
+    const Value r = rhs_->Evaluate(row, stats);
+    ++stats->comparisons;
+    const int c = CompareValues(l, r);
+    switch (op_) {
+      case CompareOp::kEq:
+        return Value::Bool(c == 0);
+      case CompareOp::kNe:
+        return Value::Bool(c != 0);
+      case CompareOp::kLt:
+        return Value::Bool(c < 0);
+      case CompareOp::kLe:
+        return Value::Bool(c <= 0);
+      case CompareOp::kGt:
+        return Value::Bool(c > 0);
+      case CompareOp::kGe:
+        return Value::Bool(c >= 0);
+    }
+    return Value::Bool(false);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    SMARTSSD_RETURN_IF_ERROR(lhs_->Validate(schema));
+    return rhs_->Validate(schema);
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    lhs_->CollectColumns(columns);
+    rhs_->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    lhs_->EstimateOps(stats);
+    rhs_->EstimateOps(stats);
+    ++stats->comparisons;
+  }
+
+  std::optional<ColumnCompare> AsColumnCompare() const override {
+    const auto lhs_col = lhs_->AsColumnRef();
+    const auto rhs_lit = rhs_->AsIntLiteral();
+    if (lhs_col.has_value() && rhs_lit.has_value()) {
+      return ColumnCompare{*lhs_col, op_, *rhs_lit};
+    }
+    const auto lhs_lit = lhs_->AsIntLiteral();
+    const auto rhs_col = rhs_->AsColumnRef();
+    if (lhs_lit.has_value() && rhs_col.has_value()) {
+      // Normalize "lit OP col" to "col OP' lit".
+      CompareOp flipped = op_;
+      switch (op_) {
+        case CompareOp::kLt:
+          flipped = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          flipped = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          flipped = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          flipped = CompareOp::kLe;
+          break;
+        case CompareOp::kEq:
+        case CompareOp::kNe:
+          break;
+      }
+      return ColumnCompare{*rhs_col, flipped, *lhs_lit};
+    }
+    return std::nullopt;
+  }
+
+  std::string ToString() const override {
+    static constexpr const char* kNames[] = {"=", "<>", "<", "<=", ">",
+                                             ">="};
+    return "(" + lhs_->ToString() + " " +
+           kNames[static_cast<int>(op_)] + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class ArithExpr final : public Expression {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    const Value l = lhs_->Evaluate(row, stats);
+    const Value r = rhs_->Evaluate(row, stats);
+    ++stats->arithmetic;
+    if (l.type() == Value::Type::kDouble ||
+        r.type() == Value::Type::kDouble || op_ == ArithOp::kDiv) {
+      const double x = l.AsDouble();
+      const double y = r.AsDouble();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::Double(x + y);
+        case ArithOp::kSub:
+          return Value::Double(x - y);
+        case ArithOp::kMul:
+          return Value::Double(x * y);
+        case ArithOp::kDiv:
+          return Value::Double(y == 0 ? 0 : x / y);
+      }
+    }
+    const std::int64_t x = l.AsInt();
+    const std::int64_t y = r.AsInt();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Int(x + y);
+      case ArithOp::kSub:
+        return Value::Int(x - y);
+      case ArithOp::kMul:
+        return Value::Int(x * y);
+      case ArithOp::kDiv:
+        return Value::Int(y == 0 ? 0 : x / y);
+    }
+    return Value::Null();
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    SMARTSSD_RETURN_IF_ERROR(lhs_->Validate(schema));
+    return rhs_->Validate(schema);
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    lhs_->CollectColumns(columns);
+    rhs_->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    lhs_->EstimateOps(stats);
+    rhs_->EstimateOps(stats);
+    ++stats->arithmetic;
+  }
+
+  std::string ToString() const override {
+    static constexpr const char* kNames[] = {"+", "-", "*", "/"};
+    return "(" + lhs_->ToString() + " " +
+           kNames[static_cast<int>(op_)] + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class LogicExpr final : public Expression {
+ public:
+  LogicExpr(bool is_and, std::vector<ExprPtr> children)
+      : is_and_(is_and), children_(std::move(children)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    // Short-circuit, left to right: the count of comparisons actually
+    // executed is what the cost model charges, which is why predicate
+    // order matters to the simulated elapsed time just as it did on the
+    // real device.
+    for (const ExprPtr& child : children_) {
+      const bool b = child->Evaluate(row, stats).AsBool();
+      if (is_and_ && !b) return Value::Bool(false);
+      if (!is_and_ && b) return Value::Bool(true);
+    }
+    return Value::Bool(is_and_);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    if (children_.empty()) {
+      return InvalidArgumentError("AND/OR needs at least one operand");
+    }
+    for (const ExprPtr& child : children_) {
+      SMARTSSD_RETURN_IF_ERROR(child->Validate(schema));
+    }
+    return Status::OK();
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    for (const ExprPtr& child : children_) child->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    for (const ExprPtr& child : children_) child->EstimateOps(stats);
+  }
+
+  const std::vector<ExprPtr>* AsConjunction() const override {
+    return is_and_ ? &children_ : nullptr;
+  }
+
+  std::string ToString() const override {
+    std::string out = "(";
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += is_and_ ? " AND " : " OR ";
+      out += children_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  bool is_and_;
+  std::vector<ExprPtr> children_;
+};
+
+class NotExpr final : public Expression {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    return Value::Bool(!child_->Evaluate(row, stats).AsBool());
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    return child_->Validate(schema);
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    child_->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    child_->EstimateOps(stats);
+  }
+
+  std::string ToString() const override {
+    return "(NOT " + child_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+class LikePrefixExpr final : public Expression {
+ public:
+  LikePrefixExpr(ExprPtr input, std::string prefix)
+      : input_(std::move(input)), prefix_(std::move(prefix)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    const Value v = input_->Evaluate(row, stats);
+    ++stats->like_evals;
+    const std::string_view s = v.AsString();
+    return Value::Bool(s.substr(0, prefix_.size()) == prefix_);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    if (prefix_.empty()) {
+      return InvalidArgumentError("LIKE prefix must not be empty");
+    }
+    return input_->Validate(schema);
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    input_->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    input_->EstimateOps(stats);
+    ++stats->like_evals;
+  }
+
+  std::string ToString() const override {
+    return "(" + input_->ToString() + " LIKE '" + prefix_ + "%')";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string prefix_;
+};
+
+class CaseWhenExpr final : public Expression {
+ public:
+  CaseWhenExpr(ExprPtr condition, ExprPtr then_value, ExprPtr else_value)
+      : condition_(std::move(condition)),
+        then_(std::move(then_value)),
+        else_(std::move(else_value)) {}
+
+  Value Evaluate(const RowView& row, EvalStats* stats) const override {
+    ++stats->case_evals;
+    if (condition_->Evaluate(row, stats).AsBool()) {
+      return then_->Evaluate(row, stats);
+    }
+    return else_->Evaluate(row, stats);
+  }
+
+  Status Validate(const storage::Schema& schema) const override {
+    SMARTSSD_RETURN_IF_ERROR(condition_->Validate(schema));
+    SMARTSSD_RETURN_IF_ERROR(then_->Validate(schema));
+    return else_->Validate(schema);
+  }
+
+  void CollectColumns(std::vector<int>* columns) const override {
+    condition_->CollectColumns(columns);
+    then_->CollectColumns(columns);
+    else_->CollectColumns(columns);
+  }
+
+  void EstimateOps(EvalStats* stats) const override {
+    condition_->EstimateOps(stats);
+    then_->EstimateOps(stats);
+    else_->EstimateOps(stats);
+    ++stats->case_evals;
+  }
+
+  std::string ToString() const override {
+    return "CASE WHEN " + condition_->ToString() + " THEN " +
+           then_->ToString() + " ELSE " + else_->ToString() + " END";
+  }
+
+ private:
+  ExprPtr condition_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+}  // namespace
+
+ExprPtr Col(int column) { return std::make_unique<ColumnExpr>(column); }
+
+ExprPtr Lit(std::int64_t value) {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+ExprPtr LitStr(std::string value) {
+  return std::make_unique<LiteralExpr>(std::move(value));
+}
+
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(std::vector<ExprPtr> children) {
+  return std::make_unique<LogicExpr>(true, std::move(children));
+}
+
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return std::make_unique<LogicExpr>(false, std::move(children));
+}
+
+ExprPtr Not(ExprPtr child) {
+  return std::make_unique<NotExpr>(std::move(child));
+}
+
+ExprPtr LikePrefix(ExprPtr input, std::string prefix) {
+  return std::make_unique<LikePrefixExpr>(std::move(input),
+                                          std::move(prefix));
+}
+
+ExprPtr CaseWhen(ExprPtr condition, ExprPtr then_value, ExprPtr else_value) {
+  return std::make_unique<CaseWhenExpr>(
+      std::move(condition), std::move(then_value), std::move(else_value));
+}
+
+}  // namespace smartssd::expr

@@ -1,0 +1,86 @@
+#ifndef SMARTSSD_EXPR_ROW_VIEW_H_
+#define SMARTSSD_EXPR_ROW_VIEW_H_
+
+#include <cstring>
+
+#include "expr/value.h"
+#include "storage/pax_page.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace smartssd::expr {
+
+// Uniform column access over either layout, so one expression tree
+// evaluates against NSM records and PAX minipages alike. The layout
+// difference shows up in the *cost model* (cycles per access), not in
+// correctness.
+class RowView {
+ public:
+  virtual ~RowView() = default;
+  virtual Value GetColumn(int col) const = 0;
+};
+
+// A row inside an NSM record.
+class NsmRowView final : public RowView {
+ public:
+  NsmRowView(const storage::Schema* schema, const std::byte* tuple)
+      : schema_(schema), tuple_(tuple) {}
+
+  void Reset(const std::byte* tuple) { tuple_ = tuple; }
+
+  Value GetColumn(int col) const override {
+    const storage::TupleReader reader(schema_, tuple_);
+    switch (schema_->column(col).type) {
+      case storage::ColumnType::kInt32:
+        return Value::Int(reader.GetInt32(col));
+      case storage::ColumnType::kInt64:
+        return Value::Int(reader.GetInt64(col));
+      case storage::ColumnType::kFixedChar:
+        return Value::String(reader.GetChar(col));
+    }
+    return Value::Null();
+  }
+
+ private:
+  const storage::Schema* schema_;
+  const std::byte* tuple_;
+};
+
+// A row inside a PAX page.
+class PaxRowView final : public RowView {
+ public:
+  PaxRowView(const storage::Schema* schema,
+             const storage::PaxPageReader* page, std::uint16_t row)
+      : schema_(schema), page_(page), row_(row) {}
+
+  void Reset(std::uint16_t row) { row_ = row; }
+
+  Value GetColumn(int col) const override {
+    const std::byte* p = page_->value(row_, col);
+    switch (schema_->column(col).type) {
+      case storage::ColumnType::kInt32: {
+        std::int32_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return Value::Int(v);
+      }
+      case storage::ColumnType::kInt64: {
+        std::int64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return Value::Int(v);
+      }
+      case storage::ColumnType::kFixedChar:
+        return Value::String(
+            {reinterpret_cast<const char*>(p), schema_->column(col).width});
+    }
+    return Value::Null();
+  }
+
+ private:
+  const storage::Schema* schema_;
+  const storage::PaxPageReader* page_;
+  std::uint16_t row_;
+};
+
+}  // namespace smartssd::expr
+
+#endif  // SMARTSSD_EXPR_ROW_VIEW_H_

@@ -1,0 +1,76 @@
+#ifndef SMARTSSD_EXPR_VALUE_H_
+#define SMARTSSD_EXPR_VALUE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/macros.h"
+
+namespace smartssd::expr {
+
+// A runtime scalar. Integers cover the paper's scaled-decimal and date
+// encodings; doubles appear only in final results (e.g., Q14's promo
+// ratio); strings are views into page bytes or literal storage.
+class Value {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kInt, kDouble, kString };
+
+  Value() : type_(Type::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = Type::kBool;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(std::int64_t i) {
+    Value v;
+    v.type_ = Type::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = Type::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string_view s) {
+    Value v;
+    v.type_ = Type::kString;
+    v.string_ = s;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool AsBool() const {
+    SMARTSSD_CHECK(type_ == Type::kBool);
+    return int_ != 0;
+  }
+  std::int64_t AsInt() const {
+    SMARTSSD_CHECK(type_ == Type::kInt);
+    return int_;
+  }
+  double AsDouble() const {
+    if (type_ == Type::kInt) return static_cast<double>(int_);
+    SMARTSSD_CHECK(type_ == Type::kDouble);
+    return double_;
+  }
+  std::string_view AsString() const {
+    SMARTSSD_CHECK(type_ == Type::kString);
+    return string_;
+  }
+
+ private:
+  Type type_;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string_view string_;
+};
+
+}  // namespace smartssd::expr
+
+#endif  // SMARTSSD_EXPR_VALUE_H_

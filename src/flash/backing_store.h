@@ -1,0 +1,87 @@
+#ifndef SMARTSSD_FLASH_BACKING_STORE_H_
+#define SMARTSSD_FLASH_BACKING_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "flash/geometry.h"
+
+namespace smartssd::flash {
+
+// Holds the actual bytes of every programmed physical page. Pages are
+// allocated lazily: an erased (never-programmed) page has no buffer.
+// The simulator is execution-driven — queries run over these real bytes —
+// so the store is the ground truth for data content, while the timing
+// model is the ground truth for when those bytes become visible.
+class BackingStore {
+ public:
+  explicit BackingStore(const Geometry& geometry)
+      : geometry_(geometry),
+        pages_(static_cast<std::size_t>(geometry.total_pages())) {}
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(BackingStore);
+
+  std::uint32_t page_size() const { return geometry_.page_size_bytes; }
+
+  bool IsProgrammed(std::uint64_t page_index) const {
+    return pages_[page_index] != nullptr;
+  }
+
+  // Copies `data` into the page. `data` may be shorter than a page; the
+  // remainder is zero-filled (matching a partially used final page).
+  void Program(std::uint64_t page_index, std::span<const std::byte> data) {
+    SMARTSSD_CHECK_LE(data.size(), page_size());
+    auto& slot = pages_[page_index];
+    SMARTSSD_CHECK(slot == nullptr);  // NAND: no program over programmed page
+    slot = std::make_unique<std::byte[]>(page_size());
+    std::copy(data.begin(), data.end(), slot.get());
+    std::fill(slot.get() + data.size(), slot.get() + page_size(),
+              std::byte{0});
+    allocated_bytes_ += page_size();
+  }
+
+  // Copies the page contents into `out` (must be >= page_size). An erased
+  // page reads as zeros.
+  void Read(std::uint64_t page_index, std::span<std::byte> out) const {
+    SMARTSSD_CHECK_GE(out.size(), page_size());
+    const auto& slot = pages_[page_index];
+    if (slot == nullptr) {
+      std::fill(out.begin(), out.begin() + page_size(), std::byte{0});
+      return;
+    }
+    std::copy(slot.get(), slot.get() + page_size(), out.begin());
+  }
+
+  // Zero-copy view of a programmed page, or empty span for an erased one.
+  // Valid until the containing block is erased.
+  std::span<const std::byte> View(std::uint64_t page_index) const {
+    const auto& slot = pages_[page_index];
+    if (slot == nullptr) return {};
+    return {slot.get(), page_size()};
+  }
+
+  // Drops the contents of every page in [first_page, first_page + count).
+  void EraseRange(std::uint64_t first_page, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto& slot = pages_[first_page + i];
+      if (slot != nullptr) {
+        allocated_bytes_ -= page_size();
+        slot.reset();
+      }
+    }
+  }
+
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  Geometry geometry_;
+  std::vector<std::unique_ptr<std::byte[]>> pages_;
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace smartssd::flash
+
+#endif  // SMARTSSD_FLASH_BACKING_STORE_H_

@@ -1,0 +1,243 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace smartssd::ftl {
+
+namespace {
+constexpr std::uint32_t kNoBlock = ~0U;
+}  // namespace
+
+Ftl::Ftl(flash::FlashArray* array, const FtlConfig& config)
+    : array_(array), config_(config) {
+  SMARTSSD_CHECK(array != nullptr);
+  SMARTSSD_CHECK(config.over_provisioning >= 0.0 &&
+                 config.over_provisioning < 1.0);
+  const flash::Geometry& g = array_->geometry();
+  logical_pages_ = static_cast<std::uint64_t>(
+      static_cast<double>(g.total_pages()) *
+      (1.0 - config.over_provisioning));
+  l2p_.assign(logical_pages_, kUnmapped);
+  p2l_.assign(g.total_pages(), kUnmapped);
+  valid_.assign(g.total_pages(), false);
+  valid_per_block_.assign(g.total_blocks(), 0);
+
+  cursors_.resize(g.total_chips());
+  for (std::uint64_t chip = 0; chip < g.total_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < g.blocks_per_chip; ++b) {
+      cursors_[chip].free_blocks.push_back(b);
+    }
+  }
+}
+
+std::uint64_t Ftl::PhysicalPageCount() const {
+  return array_->geometry().total_pages();
+}
+
+bool Ftl::IsMapped(std::uint64_t lpn) const {
+  return lpn < logical_pages_ && l2p_[lpn] != kUnmapped;
+}
+
+std::span<const std::byte> Ftl::View(std::uint64_t lpn) const {
+  if (!IsMapped(lpn)) return {};
+  return array_->store().View(l2p_[lpn]);
+}
+
+void Ftl::Invalidate(std::uint64_t ppn) {
+  if (!valid_[ppn]) return;
+  valid_[ppn] = false;
+  p2l_[ppn] = kUnmapped;
+  const std::uint64_t block = ppn / array_->geometry().pages_per_block;
+  SMARTSSD_CHECK_GT(valid_per_block_[block], 0u);
+  --valid_per_block_[block];
+}
+
+Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
+  const flash::Geometry& g = array_->geometry();
+  const std::uint64_t chip_index =
+      static_cast<std::uint64_t>(channel) * g.chips_per_channel + chip;
+  ChipCursor& cursor = cursors_[chip_index];
+  if (in_gc_ ||
+      cursor.free_blocks.size() > config_.gc_low_watermark_blocks) {
+    return ready;
+  }
+  in_gc_ = true;
+  ++stats_.gc_runs;
+  SimTime now = ready;
+
+  // Greedy victim: the non-active block on this chip with fewest valid
+  // pages (and at least one programmed page so erasing frees something).
+  const std::uint64_t first_block =
+      chip_index * static_cast<std::uint64_t>(g.blocks_per_chip);
+  std::uint32_t victim = kNoBlock;
+  std::uint32_t victim_valid = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t b = 0; b < g.blocks_per_chip; ++b) {
+    if (b == cursor.active_block) continue;
+    const bool free_listed =
+        std::find(cursor.free_blocks.begin(), cursor.free_blocks.end(),
+                  b) != cursor.free_blocks.end();
+    if (free_listed) continue;
+    const std::uint32_t valid = valid_per_block_[first_block + b];
+    if (valid < victim_valid) {
+      victim = b;
+      victim_valid = valid;
+    }
+  }
+  if (victim == kNoBlock) {
+    in_gc_ = false;
+    return ResourceExhaustedError("ftl: no GC victim available");
+  }
+
+  // Relocate the victim's valid pages through the normal write path (the
+  // in_gc_ flag suppresses nested collection).
+  const std::uint64_t victim_first_page =
+      (first_block + victim) * static_cast<std::uint64_t>(g.pages_per_block);
+  std::vector<std::byte> buffer(g.page_size_bytes);
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const std::uint64_t ppn = victim_first_page + p;
+    if (!valid_[ppn]) continue;
+    const std::uint64_t lpn = p2l_[ppn];
+    SMARTSSD_CHECK_NE(lpn, kUnmapped);
+    const flash::PageAddress src = flash::AddressFromPageIndex(g, ppn);
+    SMARTSSD_ASSIGN_OR_RETURN(SimTime read_done,
+                              array_->ReadPage(src, now, buffer));
+    SimTime gc_delay = read_done;
+    SMARTSSD_ASSIGN_OR_RETURN(const std::uint64_t dst_ppn,
+                              AllocatePage(read_done, &gc_delay));
+    const flash::PageAddress dst = flash::AddressFromPageIndex(g, dst_ppn);
+    SMARTSSD_ASSIGN_OR_RETURN(now,
+                              array_->ProgramPage(dst, buffer, gc_delay));
+    Invalidate(ppn);
+    l2p_[lpn] = dst_ppn;
+    p2l_[dst_ppn] = lpn;
+    valid_[dst_ppn] = true;
+    ++valid_per_block_[dst_ppn / g.pages_per_block];
+    ++stats_.gc_relocations;
+  }
+
+  const flash::PageAddress victim_addr =
+      flash::AddressFromPageIndex(g, victim_first_page);
+  SMARTSSD_ASSIGN_OR_RETURN(
+      now, array_->EraseBlock(victim_addr.channel, victim_addr.chip, victim,
+                              now));
+  ++stats_.block_erases;
+  cursor.free_blocks.push_back(victim);
+  in_gc_ = false;
+  return now;
+}
+
+Result<std::uint64_t> Ftl::AllocatePage(SimTime ready, SimTime* gc_done) {
+  const flash::Geometry& g = array_->geometry();
+  const std::uint64_t chip_count = g.total_chips();
+  // Round-robin over chips: consecutive logical writes land on
+  // consecutive channels, which is what lets a later sequential read
+  // stream from all channels at once.
+  for (std::uint64_t attempt = 0; attempt < chip_count; ++attempt) {
+    const std::uint64_t chip_index = stripe_cursor_ % chip_count;
+    stripe_cursor_++;
+    ChipCursor& cursor = cursors_[chip_index];
+    const int channel = static_cast<int>(chip_index / g.chips_per_channel);
+    const int chip = static_cast<int>(chip_index % g.chips_per_channel);
+
+    if (!in_gc_) {
+      SMARTSSD_ASSIGN_OR_RETURN(*gc_done,
+                                MaybeCollect(channel, chip, *gc_done));
+    }
+    if (cursor.active_block == ChipCursor::kNoBlock ||
+        array_->block_state(chip_index * g.blocks_per_chip +
+                            cursor.active_block)
+                .write_pointer >= g.pages_per_block) {
+      if (cursor.free_blocks.empty()) continue;  // try another chip
+      cursor.active_block = cursor.free_blocks.front();
+      cursor.free_blocks.pop_front();
+    }
+    const std::uint64_t block_index =
+        chip_index * g.blocks_per_chip + cursor.active_block;
+    const std::uint32_t page = array_->block_state(block_index).write_pointer;
+    return block_index * static_cast<std::uint64_t>(g.pages_per_block) +
+           page;
+  }
+  (void)ready;
+  return ResourceExhaustedError("ftl: flash array is full");
+}
+
+Result<SimTime> Ftl::Write(std::uint64_t lpn,
+                           std::span<const std::byte> data, SimTime ready) {
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("ftl write: lpn beyond logical capacity");
+  }
+  if (data.size() > page_size()) {
+    return InvalidArgumentError("ftl write: data larger than a page");
+  }
+  ready += config_.command_overhead;
+  SimTime gc_done = ready;
+  SMARTSSD_ASSIGN_OR_RETURN(const std::uint64_t ppn,
+                            AllocatePage(ready, &gc_done));
+  const flash::PageAddress addr =
+      flash::AddressFromPageIndex(array_->geometry(), ppn);
+  SMARTSSD_ASSIGN_OR_RETURN(const SimTime done,
+                            array_->ProgramPage(addr, data, gc_done));
+  if (l2p_[lpn] != kUnmapped) Invalidate(l2p_[lpn]);
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  valid_[ppn] = true;
+  ++valid_per_block_[ppn / array_->geometry().pages_per_block];
+  ++stats_.host_writes;
+  return done;
+}
+
+Result<SimTime> Ftl::ReadTiming(std::uint64_t lpn, SimTime ready) {
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("ftl read: lpn beyond logical capacity");
+  }
+  ready += config_.command_overhead;
+  ++stats_.host_reads;
+  if (l2p_[lpn] == kUnmapped) {
+    // Served straight from the mapping table; no flash operation.
+    ++stats_.unmapped_reads;
+    return ready;
+  }
+  const flash::PageAddress addr =
+      flash::AddressFromPageIndex(array_->geometry(), l2p_[lpn]);
+  return array_->ReadPageTiming(addr, ready);
+}
+
+Result<SimTime> Ftl::Read(std::uint64_t lpn, std::span<std::byte> out,
+                          SimTime ready) {
+  SMARTSSD_ASSIGN_OR_RETURN(const SimTime done, ReadTiming(lpn, ready));
+  if (!out.empty()) {
+    if (l2p_[lpn] == kUnmapped) {
+      std::fill(out.begin(),
+                out.begin() + std::min<std::size_t>(out.size(), page_size()),
+                std::byte{0});
+    } else {
+      array_->store().Read(l2p_[lpn], out);
+    }
+  }
+  return done;
+}
+
+Status Ftl::Trim(std::uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("ftl trim: lpn beyond logical capacity");
+  }
+  if (l2p_[lpn] != kUnmapped) {
+    Invalidate(l2p_[lpn]);
+    l2p_[lpn] = kUnmapped;
+  }
+  return Status::OK();
+}
+
+std::uint32_t Ftl::max_erase_count() const {
+  const flash::Geometry& g = array_->geometry();
+  std::uint32_t max_count = 0;
+  for (std::uint64_t b = 0; b < g.total_blocks(); ++b) {
+    max_count = std::max(max_count, array_->block_state(b).erase_count);
+  }
+  return max_count;
+}
+
+}  // namespace smartssd::ftl

@@ -1,0 +1,125 @@
+#ifndef SMARTSSD_FTL_FTL_H_
+#define SMARTSSD_FTL_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "flash/flash_array.h"
+
+namespace smartssd::ftl {
+
+struct FtlConfig {
+  // Fraction of physical capacity hidden from the host (over-provisioning).
+  double over_provisioning = 0.125;
+  // Garbage collection starts when a chip's free-block count drops to this.
+  std::uint32_t gc_low_watermark_blocks = 2;
+  // Firmware lookup/dispatch overhead charged per host command.
+  SimDuration command_overhead = 2 * kMicrosecond;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;       // pages written by the host
+  std::uint64_t gc_relocations = 0;    // pages moved by GC
+  std::uint64_t gc_runs = 0;
+  std::uint64_t block_erases = 0;
+  std::uint64_t host_reads = 0;
+  std::uint64_t unmapped_reads = 0;
+
+  double write_amplification() const {
+    if (host_writes == 0) return 1.0;
+    return static_cast<double>(host_writes + gc_relocations) /
+           static_cast<double>(host_writes);
+  }
+};
+
+// Page-level Flash Translation Layer. Maps logical page numbers (LPNs) to
+// physical pages, stripes consecutive writes across channels (which is
+// what gives sequential scans their channel-level parallelism), and runs
+// greedy cost-based garbage collection per chip.
+//
+// The FTL is the firmware component the paper's Section 2 describes as
+// running on the embedded processors; its command overhead is charged on
+// the virtual clock but is negligible next to page transfer times, as in
+// the real device.
+class Ftl {
+ public:
+  Ftl(flash::FlashArray* array, const FtlConfig& config);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(Ftl);
+
+  std::uint64_t logical_pages() const { return logical_pages_; }
+  std::uint32_t page_size() const {
+    return array_->geometry().page_size_bytes;
+  }
+
+  // Writes one logical page. Returns the completion time of the program
+  // operation (plus any GC work it triggered).
+  Result<SimTime> Write(std::uint64_t lpn, std::span<const std::byte> data,
+                        SimTime ready);
+
+  // Reads one logical page into `out`. An unmapped LPN reads as zeros and
+  // costs only the command overhead (served from the mapping table, no
+  // flash operation). Returns the time the data is at the channel
+  // controller, ready for DMA into device DRAM.
+  Result<SimTime> Read(std::uint64_t lpn, std::span<std::byte> out,
+                       SimTime ready);
+
+  // Timing-only read; pair with View() for zero-copy access to the bytes.
+  Result<SimTime> ReadTiming(std::uint64_t lpn, SimTime ready);
+
+  // Zero-copy view of a mapped logical page; empty span if unmapped.
+  std::span<const std::byte> View(std::uint64_t lpn) const;
+
+  bool IsMapped(std::uint64_t lpn) const;
+
+  // Invalidates a logical page (TRIM).
+  Status Trim(std::uint64_t lpn);
+
+  const FtlStats& stats() const { return stats_; }
+
+  // Highest block-erase count across the array (wear ceiling).
+  std::uint32_t max_erase_count() const;
+
+ private:
+  static constexpr std::uint64_t kUnmapped = ~0ULL;
+
+  struct ChipCursor {
+    // Blocks not yet allocated for writing, in allocation order.
+    std::deque<std::uint32_t> free_blocks;
+    // Block currently receiving programs, or kNoBlock.
+    std::uint32_t active_block = kNoBlock;
+    static constexpr std::uint32_t kNoBlock = ~0U;
+  };
+
+  std::uint64_t PhysicalPageCount() const;
+  // Picks the next physical page to program, advancing the global stripe
+  // cursor. May trigger GC on the chosen chip. Returns the physical page
+  // index, with `*gc_done` >= ready reflecting any GC delay.
+  Result<std::uint64_t> AllocatePage(SimTime ready, SimTime* gc_done);
+  Result<SimTime> MaybeCollect(int channel, int chip, SimTime ready);
+  void Invalidate(std::uint64_t ppn);
+
+  flash::FlashArray* array_;
+  FtlConfig config_;
+  std::uint64_t logical_pages_;
+
+  std::vector<std::uint64_t> l2p_;  // lpn -> ppn or kUnmapped
+  std::vector<std::uint64_t> p2l_;  // ppn -> lpn or kUnmapped
+  std::vector<bool> valid_;         // per physical page
+  std::vector<std::uint32_t> valid_per_block_;
+
+  std::vector<ChipCursor> cursors_;  // per chip (flat index)
+  std::uint64_t stripe_cursor_ = 0;  // round-robin over chips
+  bool in_gc_ = false;               // guards against recursive GC
+
+  FtlStats stats_;
+};
+
+}  // namespace smartssd::ftl
+
+#endif  // SMARTSSD_FTL_FTL_H_

@@ -1,0 +1,87 @@
+#ifndef SMARTSSD_SIM_EVENT_QUEUE_H_
+#define SMARTSSD_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/units.h"
+#include "sim/clock.h"
+
+namespace smartssd::sim {
+
+// Minimal discrete-event scheduler. The streaming data paths use the
+// RateServer recurrence directly; the event queue exists for control-plane
+// behaviour that is genuinely event-driven — the host's GET polling loop,
+// background garbage collection, and tests that need interleaved timelines.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  explicit EventQueue(Clock* clock) : clock_(clock) {
+    SMARTSSD_CHECK(clock != nullptr);
+  }
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(EventQueue);
+
+  // Schedules `fn` to run at absolute virtual time `when` (>= now).
+  // Events at equal times run in scheduling order.
+  void ScheduleAt(SimTime when, Callback fn) {
+    SMARTSSD_CHECK_GE(when, clock_->now());
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(SimDuration delay, Callback fn) {
+    ScheduleAt(clock_->now() + delay, std::move(fn));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  // Runs the earliest event, advancing the clock to its time. Returns
+  // false if there was nothing to run.
+  bool RunOne() {
+    if (heap_.empty()) return false;
+    Event e = heap_.top();
+    heap_.pop();
+    clock_->AdvanceTo(e.when);
+    e.fn(e.when);
+    return true;
+  }
+
+  // Runs events until the queue drains.
+  void RunUntilEmpty() {
+    while (RunOne()) {
+    }
+  }
+
+  // Runs all events with time <= `deadline`, then advances the clock to
+  // `deadline` if it is still behind.
+  void RunUntil(SimTime deadline) {
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+      RunOne();
+    }
+    if (clock_->now() < deadline) clock_->AdvanceTo(deadline);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  Clock* clock_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+}  // namespace smartssd::sim
+
+#endif  // SMARTSSD_SIM_EVENT_QUEUE_H_

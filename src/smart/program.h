@@ -1,0 +1,94 @@
+#ifndef SMARTSSD_SMART_PROGRAM_H_
+#define SMARTSSD_SMART_PROGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace smartssd::smart {
+
+// A contiguous run of logical pages the program wants streamed to it.
+struct LpnRange {
+  std::uint64_t first_lpn = 0;
+  std::uint64_t count = 0;
+};
+
+// What a program callback consumed. The runtime converts cycles into
+// virtual time on the embedded CPU complex; programs compute their cycle
+// charge from the cost model so that the same operator code can report
+// different costs on the embedded cores vs. the host Xeons.
+struct ProgramCharge {
+  std::uint64_t cycles = 0;
+};
+
+// Interface the runtime hands a program for producing result bytes.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Emit(std::span<const std::byte> bytes) = 0;
+};
+
+// Device-side services available to a program while its session is open.
+// Build phases (e.g., hashing the inner join table) read their input
+// through ReadInternal, which charges the flash->DRAM path but never the
+// host link — the defining property of in-SSD execution.
+class DeviceServices {
+ public:
+  virtual ~DeviceServices() = default;
+
+  virtual std::uint32_t page_size() const = 0;
+
+  // Internal page read (flash + DMA). Returns availability time in DRAM.
+  virtual Result<SimTime> ReadInternal(std::uint64_t lpn, SimTime ready) = 0;
+
+  // Zero-copy view of a page's current contents.
+  virtual std::span<const std::byte> ViewPage(std::uint64_t lpn) const = 0;
+
+  // Runs cycles on the embedded CPU complex, returns completion time.
+  virtual SimTime Execute(std::uint64_t cycles, SimTime ready) = 0;
+
+  // Reserves device DRAM for session state (hash tables, buffers).
+  // Fails with RESOURCE_EXHAUSTED if it does not fit.
+  virtual Status AllocateDram(std::uint64_t bytes) = 0;
+};
+
+// A user-defined program pushed into the Smart SSD. Lifecycle, driven by
+// the runtime:
+//
+//   Open()        once, at OPEN — set up state, run any build phase.
+//   InputExtents() once — declare the pages to stream.
+//   ProcessPage() per input page, in order — do the work, emit results,
+//                 and return the embedded-CPU cycles consumed.
+//   Finish()      once after the last page — emit any final result
+//                 (e.g., the aggregate), return trailing cycles.
+//
+// Programs run on real page bytes; all results they emit are real data
+// the host-side operators verify. Only *time* is simulated.
+class InSsdProgram {
+ public:
+  virtual ~InSsdProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Returns the completion time of the open/build phase.
+  virtual Result<SimTime> Open(DeviceServices& device, SimTime ready) = 0;
+
+  virtual std::vector<LpnRange> InputExtents() const = 0;
+
+  virtual Result<ProgramCharge> ProcessPage(
+      std::span<const std::byte> page, ResultSink& sink) = 0;
+
+  virtual Result<ProgramCharge> Finish(ResultSink& sink) = 0;
+
+  // Device DRAM the session must reserve before starting (beyond the
+  // streaming buffers the runtime itself accounts for).
+  virtual std::uint64_t DramBytesRequired() const { return 0; }
+};
+
+}  // namespace smartssd::smart
+
+#endif  // SMARTSSD_SMART_PROGRAM_H_

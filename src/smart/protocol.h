@@ -1,0 +1,37 @@
+#ifndef SMARTSSD_SMART_PROTOCOL_H_
+#define SMARTSSD_SMART_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace smartssd::smart {
+
+// The three-command session protocol of Section 3. The protocol rides the
+// standard SATA/SAS transport: every command costs one host-interface
+// command round, and all result data flows back through GET responses
+// (the device is a passive entity — it never initiates a transfer).
+enum class CommandType {
+  kOpen,   // start session: grant threads + memory, return session id
+  kGet,    // poll status, drain available result data
+  kClose,  // tear down session, free resources
+};
+
+using SessionId = std::uint64_t;
+
+enum class SessionState {
+  kIdle,       // no session
+  kRunning,    // program still processing
+  kDrained,    // program finished, all results delivered
+  kClosed,
+};
+
+// Host-side polling policy for GET. The host sleeps `poll_interval`
+// between GETs while the device reports kRunning with no data ready.
+struct PollingPolicy {
+  SimDuration poll_interval = 500 * kMicrosecond;
+};
+
+}  // namespace smartssd::smart
+
+#endif  // SMARTSSD_SMART_PROTOCOL_H_

@@ -1,0 +1,151 @@
+#include "smart/runtime.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "smart/result_queue.h"
+
+namespace smartssd::smart {
+
+namespace {
+
+// Adapter exposing the device to a program, with DRAM bookkeeping so the
+// runtime can release everything the session allocated at CLOSE.
+class SessionServices : public DeviceServices {
+ public:
+  explicit SessionServices(ssd::SsdDevice* device) : device_(device) {}
+
+  ~SessionServices() override {
+    if (allocated_ > 0) device_->ReleaseDeviceDram(allocated_);
+  }
+
+  std::uint32_t page_size() const override { return device_->page_size(); }
+
+  Result<SimTime> ReadInternal(std::uint64_t lpn, SimTime ready) override {
+    return device_->InternalReadPageTiming(lpn, ready);
+  }
+
+  std::span<const std::byte> ViewPage(std::uint64_t lpn) const override {
+    return device_->ViewPage(lpn);
+  }
+
+  SimTime Execute(std::uint64_t cycles, SimTime ready) override {
+    return device_->ExecuteOnDevice(cycles, ready);
+  }
+
+  Status AllocateDram(std::uint64_t bytes) override {
+    SMARTSSD_RETURN_IF_ERROR(device_->AllocateDeviceDram(bytes));
+    allocated_ += bytes;
+    return Status::OK();
+  }
+
+ private:
+  ssd::SsdDevice* device_;
+  std::uint64_t allocated_ = 0;
+};
+
+// Collects the bytes a program emits during one callback; the runtime
+// stamps them with the callback's completion time afterwards (output
+// becomes visible when the work that produced it retires).
+class BufferingSink : public ResultSink {
+ public:
+  void Emit(std::span<const std::byte> bytes) override {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  std::span<const std::byte> bytes() const { return buffer_; }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace
+
+SmartSsdRuntime::SmartSsdRuntime(ssd::SsdDevice* device) : device_(device) {
+  SMARTSSD_CHECK(device != nullptr);
+}
+
+Result<SessionStats> SmartSsdRuntime::RunSession(
+    InSsdProgram& program, const PollingPolicy& policy, SimTime start,
+    std::vector<std::byte>* host_output) {
+  SessionStats stats;
+  stats.session_id = next_session_id_++;
+  stats.open_issued = start;
+
+  // --- OPEN: command round + resource grant + program build phase ---
+  SimTime t = device_->HostCommand(start);
+  SessionServices services(device_);
+  const std::uint64_t dram_needed = program.DramBytesRequired();
+  if (dram_needed > 0) {
+    SMARTSSD_RETURN_IF_ERROR(services.AllocateDram(dram_needed));
+  }
+  SMARTSSD_ASSIGN_OR_RETURN(SimTime open_done, program.Open(services, t));
+  open_done = std::max(open_done, t);
+  stats.open_done = open_done;
+
+  // --- Device-side processing: stream the input extents ---
+  ResultQueue queue(device_->page_size());
+  BufferingSink sink;
+  SimTime processing_done = open_done;
+  for (const LpnRange& extent : program.InputExtents()) {
+    for (std::uint64_t i = 0; i < extent.count; ++i) {
+      const std::uint64_t lpn = extent.first_lpn + i;
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const SimTime in_dram,
+          device_->InternalReadPageTiming(lpn, open_done));
+      sink.Clear();
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const ProgramCharge charge,
+          program.ProcessPage(device_->ViewPage(lpn), sink));
+      const SimTime done = device_->ExecuteOnDevice(charge.cycles, in_dram);
+      queue.Append(sink.bytes(), done);
+      stats.embedded_cycles += charge.cycles;
+      ++stats.pages_processed;
+      processing_done = std::max(processing_done, done);
+    }
+  }
+  sink.Clear();
+  SMARTSSD_ASSIGN_OR_RETURN(const ProgramCharge final_charge,
+                            program.Finish(sink));
+  processing_done =
+      device_->ExecuteOnDevice(final_charge.cycles, processing_done);
+  stats.embedded_cycles += final_charge.cycles;
+  queue.Append(sink.bytes(), processing_done);
+  queue.Flush(processing_done);
+  stats.processing_done = processing_done;
+
+  // --- GET polling: the host drains results as they become ready ---
+  SimTime poll_time = open_done;
+  SimTime last_transfer = open_done;
+  for (;;) {
+    poll_time = device_->HostCommand(poll_time);  // the GET itself
+    ++stats.gets_issued;
+    bool transferred = false;
+    ResultChunk chunk;
+    while (queue.PopReady(poll_time, &chunk)) {
+      poll_time = device_->TransferToHost(chunk.data.size(), poll_time);
+      if (host_output != nullptr) {
+        host_output->insert(host_output->end(), chunk.data.begin(),
+                            chunk.data.end());
+      }
+      stats.result_bytes += chunk.data.size();
+      last_transfer = poll_time;
+      transferred = true;
+    }
+    if (queue.pending_chunks() == 0 && poll_time >= processing_done) {
+      // This GET saw the program finished with nothing left to deliver.
+      break;
+    }
+    if (!transferred) {
+      poll_time += policy.poll_interval;
+    }
+  }
+  stats.last_transfer_done = last_transfer;
+
+  // --- CLOSE: tear down, free grants (via ~SessionServices) ---
+  stats.close_done = device_->HostCommand(poll_time);
+  return stats;
+}
+
+}  // namespace smartssd::smart

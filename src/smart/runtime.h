@@ -1,0 +1,58 @@
+#ifndef SMARTSSD_SMART_RUNTIME_H_
+#define SMARTSSD_SMART_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "smart/program.h"
+#include "smart/protocol.h"
+#include "ssd/ssd_device.h"
+
+namespace smartssd::smart {
+
+// Everything a completed session reports back to the host-side executor.
+struct SessionStats {
+  SessionId session_id = 0;
+  SimTime open_issued = 0;
+  SimTime open_done = 0;        // OPEN acknowledged, build phase complete
+  SimTime processing_done = 0;  // last page processed on the device
+  SimTime last_transfer_done = 0;  // last result byte at the host
+  SimTime close_done = 0;       // CLOSE acknowledged: session elapsed end
+  std::uint64_t pages_processed = 0;
+  std::uint64_t result_bytes = 0;
+  std::uint64_t embedded_cycles = 0;
+  std::uint64_t gets_issued = 0;
+
+  SimDuration elapsed() const { return close_done - open_issued; }
+};
+
+// The Smart SSD runtime framework of Section 3: accepts a user-defined
+// program through OPEN, streams its declared input extents through the
+// internal data path, schedules its per-page work on the embedded cores,
+// and delivers its output to the host through polled GET commands.
+//
+// RunSession executes the whole OPEN -> GET* -> CLOSE exchange and
+// returns the timeline. The host result bytes are appended to
+// `host_output` exactly as the GET responses deliver them.
+class SmartSsdRuntime {
+ public:
+  explicit SmartSsdRuntime(ssd::SsdDevice* device);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(SmartSsdRuntime);
+
+  Result<SessionStats> RunSession(InSsdProgram& program,
+                                  const PollingPolicy& policy,
+                                  SimTime start,
+                                  std::vector<std::byte>* host_output);
+
+  ssd::SsdDevice& device() { return *device_; }
+
+ private:
+  ssd::SsdDevice* device_;
+  SessionId next_session_id_ = 1;
+};
+
+}  // namespace smartssd::smart
+
+#endif  // SMARTSSD_SMART_RUNTIME_H_

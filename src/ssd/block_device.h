@@ -1,0 +1,50 @@
+#ifndef SMARTSSD_SSD_BLOCK_DEVICE_H_
+#define SMARTSSD_SSD_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace smartssd::ssd {
+
+// Power draw of a storage device, used by the energy model (Table 3).
+struct DevicePowerProfile {
+  double active_watts = 8.0;
+  double idle_watts = 1.0;
+};
+
+// Host-visible block device abstraction. The unit of I/O is a device page
+// (the paper's DBMS uses 8 KB pages matching the flash page size); multi-
+// page commands model the 32-page (256 KB) I/Os of Table 2.
+//
+// All methods are virtual-time aware: `ready` is when the host issues the
+// command, the return value is when the last byte has arrived (reads) or
+// is durable (writes).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::uint32_t page_size() const = 0;
+  virtual std::uint64_t num_pages() const = 0;
+  virtual DevicePowerProfile power_profile() const = 0;
+
+  // Reads `count` consecutive pages starting at `lpn` into `out`
+  // (out.size() >= count * page_size()). One command; page transfers are
+  // pipelined inside the device.
+  virtual Result<SimTime> ReadPages(std::uint64_t lpn, std::uint32_t count,
+                                    std::span<std::byte> out,
+                                    SimTime ready) = 0;
+
+  // Writes `count` consecutive pages starting at `lpn`.
+  virtual Result<SimTime> WritePages(std::uint64_t lpn, std::uint32_t count,
+                                     std::span<const std::byte> data,
+                                     SimTime ready) = 0;
+};
+
+}  // namespace smartssd::ssd
+
+#endif  // SMARTSSD_SSD_BLOCK_DEVICE_H_

@@ -1,0 +1,38 @@
+#ifndef SMARTSSD_SSD_INTERFACE_TRENDS_H_
+#define SMARTSSD_SSD_INTERFACE_TRENDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartssd::ssd {
+
+// One point on Figure 1: the bandwidth of the host I/O interface and of
+// the SSD's internal data path, per year. The paper plots both relative
+// to the 2007 interface speed (375 MB/s) and observes the internal path
+// pulling away to roughly 10x by the projection horizon, because interface
+// standards (SATA/SAS/PCIe revisions) move slower than NAND channel
+// speeds times channel counts.
+struct BandwidthTrendPoint {
+  int year;
+  std::uint64_t host_interface_bytes_per_second;
+  std::uint64_t internal_bytes_per_second;
+  const char* host_interface_name;
+};
+
+// The 2007 reference the paper normalizes against.
+inline constexpr std::uint64_t kTrendBaseline2007 = 375 * kMB;
+
+// The trend series, 2007..2017. Host interface values follow the
+// SATA/SAS roadmap; internal values are channel_count x channel_rate for
+// contemporary controller generations (ONFI/toggle-mode progressions).
+const std::vector<BandwidthTrendPoint>& BandwidthTrends();
+
+// Relative values (x over the 2007 baseline), as plotted in Figure 1.
+double HostRelative(const BandwidthTrendPoint& point);
+double InternalRelative(const BandwidthTrendPoint& point);
+
+}  // namespace smartssd::ssd
+
+#endif  // SMARTSSD_SSD_INTERFACE_TRENDS_H_

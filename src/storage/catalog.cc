@@ -1,0 +1,38 @@
+#include "storage/catalog.h"
+
+namespace smartssd::storage {
+
+std::uint64_t TableInfo::bytes() const {
+  return tuple_count * schema.tuple_size();
+}
+
+Result<const TableInfo*> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError("no such table: " + std::string(name));
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+Status Catalog::AddTable(TableInfo info) {
+  if (HasTable(info.name)) {
+    return AlreadyExistsError("table already exists: " + info.name);
+  }
+  tables_.emplace(info.name, std::move(info));
+  return Status::OK();
+}
+
+Result<std::uint64_t> Catalog::AllocateExtent(std::uint64_t pages) {
+  if (next_lpn_ + pages > device_pages_) {
+    return ResourceExhaustedError("device out of logical pages");
+  }
+  const std::uint64_t first = next_lpn_;
+  next_lpn_ += pages;
+  return first;
+}
+
+}  // namespace smartssd::storage

@@ -1,0 +1,52 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace smartssd::storage {
+
+Result<Schema> Schema::Create(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return InvalidArgumentError("schema must have at least one column");
+  }
+  std::unordered_set<std::string_view> names;
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(columns.size());
+  std::uint32_t offset = 0;
+  for (const Column& column : columns) {
+    if (column.name.empty()) {
+      return InvalidArgumentError("column name must not be empty");
+    }
+    if (!names.insert(column.name).second) {
+      return InvalidArgumentError("duplicate column name: " + column.name);
+    }
+    switch (column.type) {
+      case ColumnType::kInt32:
+        if (column.width != 4) {
+          return InvalidArgumentError("INT32 column width must be 4");
+        }
+        break;
+      case ColumnType::kInt64:
+        if (column.width != 8) {
+          return InvalidArgumentError("INT64 column width must be 8");
+        }
+        break;
+      case ColumnType::kFixedChar:
+        if (column.width == 0 || column.width > 4096) {
+          return InvalidArgumentError("CHAR width must be in [1, 4096]");
+        }
+        break;
+    }
+    offsets.push_back(offset);
+    offset += column.width;
+  }
+  return Schema(std::move(columns), std::move(offsets), offset);
+}
+
+Result<int> Schema::FindColumn(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return NotFoundError("no such column: " + std::string(name));
+}
+
+}  // namespace smartssd::storage

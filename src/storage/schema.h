@@ -1,0 +1,47 @@
+#ifndef SMARTSSD_STORAGE_SCHEMA_H_
+#define SMARTSSD_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace smartssd::storage {
+
+// A table schema: ordered, fixed-width columns with precomputed tuple
+// offsets. Immutable after creation.
+class Schema {
+ public:
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  // An empty placeholder schema (0 columns). Useful as the initial value
+  // of aggregate members; Create() never produces one.
+  Schema() : tuple_size_(0) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  std::uint32_t offset(int i) const { return offsets_[i]; }
+  std::uint32_t tuple_size() const { return tuple_size_; }
+
+  // Index of the named column, or NOT_FOUND.
+  Result<int> FindColumn(std::string_view name) const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+ private:
+  Schema(std::vector<Column> columns, std::vector<std::uint32_t> offsets,
+         std::uint32_t tuple_size)
+      : columns_(std::move(columns)),
+        offsets_(std::move(offsets)),
+        tuple_size_(tuple_size) {}
+
+  std::vector<Column> columns_;
+  std::vector<std::uint32_t> offsets_;
+  std::uint32_t tuple_size_;
+};
+
+}  // namespace smartssd::storage
+
+#endif  // SMARTSSD_STORAGE_SCHEMA_H_

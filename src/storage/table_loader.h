@@ -1,0 +1,41 @@
+#ifndef SMARTSSD_STORAGE_TABLE_LOADER_H_
+#define SMARTSSD_STORAGE_TABLE_LOADER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "ssd/block_device.h"
+#include "storage/catalog.h"
+#include "storage/tuple.h"
+
+namespace smartssd::storage {
+
+// Fills one tuple of the table; called once per row in row order.
+using RowGenerator =
+    std::function<void(std::uint64_t row, TupleWriter& writer)>;
+
+// Bulk loader: serializes rows into NSM or PAX pages and writes them to
+// the device in multi-page commands. Loading happens on the virtual
+// clock like everything else, but callers typically reset device timing
+// afterwards so that measured queries start from an idle device (the
+// paper's experiments are cold runs on preloaded tables).
+class TableLoader {
+ public:
+  TableLoader(ssd::BlockDevice* device, Catalog* catalog);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(TableLoader);
+
+  Result<TableInfo> Load(std::string name, const Schema& schema,
+                         PageLayout layout, std::uint64_t row_count,
+                         const RowGenerator& generator);
+
+ private:
+  ssd::BlockDevice* device_;
+  Catalog* catalog_;
+};
+
+}  // namespace smartssd::storage
+
+#endif  // SMARTSSD_STORAGE_TABLE_LOADER_H_

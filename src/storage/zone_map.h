@@ -1,0 +1,64 @@
+#ifndef SMARTSSD_STORAGE_ZONE_MAP_H_
+#define SMARTSSD_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace smartssd::storage {
+
+// Per-page min/max statistics ("zone maps") for every integer column of
+// a table — the lightweight in-storage index the paper's discussion of
+// storage-layout impact points toward. Built once after bulk load; a
+// scan with a range predicate on a tracked column can then skip every
+// page whose [min, max] cannot match.
+//
+// The structure is a few bytes per page per column, so it fits easily
+// in device DRAM: pushdown programs prune their input extents with it
+// (in-SSD indexing), and the host executor prunes its read requests —
+// the same statistics serve both sides.
+class ZoneMap {
+ public:
+  struct Range {
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+
+  // Builds statistics by scanning the table's pages via `read_page`
+  // (page indexes are table-relative).
+  static Result<ZoneMap> Build(
+      const TableInfo& info,
+      const std::function<Result<std::span<const std::byte>>(
+          std::uint64_t page_index)>& read_page);
+
+  // True if page `page_index` (table-relative) may hold a row whose
+  // `col` value lies in [lo, hi]. Untracked columns always may match.
+  bool PageMayMatch(std::uint64_t page_index, int col, std::int64_t lo,
+                    std::int64_t hi) const;
+
+  // The page's [min, max] for a tracked column.
+  Result<Range> PageRange(std::uint64_t page_index, int col) const;
+
+  bool TracksColumn(int col) const;
+  std::uint64_t pages() const { return pages_; }
+  std::uint64_t memory_bytes() const {
+    return ranges_.size() * sizeof(Range);
+  }
+
+ private:
+  ZoneMap() = default;
+
+  std::uint64_t pages_ = 0;
+  std::vector<int> column_slots_;  // schema col -> slot or -1
+  int tracked_columns_ = 0;
+  // ranges_[page * tracked_columns_ + slot]
+  std::vector<Range> ranges_;
+};
+
+}  // namespace smartssd::storage
+
+#endif  // SMARTSSD_STORAGE_ZONE_MAP_H_

@@ -1,0 +1,38 @@
+#ifndef SMARTSSD_TPCH_DATES_H_
+#define SMARTSSD_TPCH_DATES_H_
+
+#include <cstdint>
+
+namespace smartssd::tpch {
+
+// Date handling for the paper's modification 3: "all date values are
+// converted to the number of days since the last epoch". We use the
+// TPC-H population start date, 1992-01-01, as day 0.
+
+// Days from civil date (proleptic Gregorian; Howard Hinnant's algorithm).
+constexpr std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<std::int64_t>(doe) - 719468LL;
+}
+
+inline constexpr std::int64_t kEpochCivilDays = DaysFromCivil(1992, 1, 1);
+
+// Days since 1992-01-01 for a civil date.
+constexpr std::int32_t DateToDays(int y, int m, int d) {
+  return static_cast<std::int32_t>(DaysFromCivil(y, m, d) -
+                                   kEpochCivilDays);
+}
+
+// TPC-H ship dates span [1992-01-02, 1998-12-01].
+inline constexpr std::int32_t kMinShipDate = DateToDays(1992, 1, 2);
+inline constexpr std::int32_t kMaxShipDate = DateToDays(1998, 12, 1);
+
+}  // namespace smartssd::tpch
+
+#endif  // SMARTSSD_TPCH_DATES_H_

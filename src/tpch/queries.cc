@@ -1,0 +1,167 @@
+#include "tpch/queries.h"
+
+#include "common/macros.h"
+#include "tpch/dates.h"
+#include "tpch/synthetic.h"
+#include "tpch/tpch_gen.h"
+
+namespace smartssd::tpch {
+
+namespace ex = ::smartssd::expr;
+
+exec::QuerySpec Q6Spec(std::string lineitem_table) {
+  exec::QuerySpec spec;
+  spec.name = "tpch_q6";
+  spec.table = std::move(lineitem_table);
+  std::vector<ex::ExprPtr> predicates;
+  predicates.push_back(
+      ex::Ge(ex::Col(kLShipDate), ex::Lit(DateToDays(1994, 1, 1))));
+  predicates.push_back(
+      ex::Lt(ex::Col(kLShipDate), ex::Lit(DateToDays(1995, 1, 1))));
+  predicates.push_back(ex::Gt(ex::Col(kLDiscount), ex::Lit(5)));
+  predicates.push_back(ex::Lt(ex::Col(kLDiscount), ex::Lit(7)));
+  predicates.push_back(ex::Lt(ex::Col(kLQuantity), ex::Lit(24)));
+  spec.predicate = ex::And(std::move(predicates));
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kSum,
+      .input = ex::Mul(ex::Col(kLExtendedPrice), ex::Col(kLDiscount)),
+      .name = "revenue"});
+  return spec;
+}
+
+double Q6Revenue(const std::vector<std::int64_t>& agg_values) {
+  SMARTSSD_CHECK_EQ(agg_values.size(), 1u);
+  return static_cast<double>(agg_values[0]) / 10000.0;
+}
+
+exec::QuerySpec Q14Spec(std::string lineitem_table,
+                        std::string part_table) {
+  exec::QuerySpec spec;
+  spec.name = "tpch_q14";
+  spec.table = std::move(lineitem_table);
+  spec.join = exec::JoinSpec{.inner_table = std::move(part_table),
+                             .outer_key_col = kLPartKey,
+                             .inner_key_col = kPPartKey,
+                             .inner_payload_cols = {kPType}};
+  spec.order = exec::PipelineOrder::kProbeFirst;
+  spec.predicate = ex::And([] {
+    std::vector<ex::ExprPtr> predicates;
+    predicates.push_back(
+        ex::Ge(ex::Col(kLShipDate), ex::Lit(DateToDays(1995, 9, 1))));
+    predicates.push_back(
+        ex::Lt(ex::Col(kLShipDate), ex::Lit(DateToDays(1995, 10, 1))));
+    return predicates;
+  }());
+
+  // Combined row: LINEITEM's 16 columns, then p_type.
+  const int p_type_col = 16;
+  auto discounted_price = [] {
+    return ex::Mul(ex::Col(kLExtendedPrice),
+                   ex::Sub(ex::Lit(100), ex::Col(kLDiscount)));
+  };
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kSum,
+      .input = ex::CaseWhen(
+          ex::LikePrefix(ex::Col(p_type_col), "PROMO"),
+          discounted_price(), ex::Lit(0)),
+      .name = "promo_sum"});
+  spec.aggregates.push_back(exec::AggSpec{.fn = exec::AggSpec::Fn::kSum,
+                                          .input = discounted_price(),
+                                          .name = "total_sum"});
+  return spec;
+}
+
+double Q14PromoRevenue(const std::vector<std::int64_t>& agg_values) {
+  SMARTSSD_CHECK_EQ(agg_values.size(), 2u);
+  if (agg_values[1] == 0) return 0;
+  return 100.0 * static_cast<double>(agg_values[0]) /
+         static_cast<double>(agg_values[1]);
+}
+
+exec::QuerySpec JoinQuerySpec(std::string s_table, std::string r_table,
+                              double selectivity) {
+  exec::QuerySpec spec;
+  spec.name = "select_join";
+  spec.table = std::move(s_table);
+  spec.predicate =
+      ex::Lt(ex::Col(2), ex::Lit(SelectivityThreshold(selectivity)));
+  spec.join = exec::JoinSpec{.inner_table = std::move(r_table),
+                             .outer_key_col = 1,   // S.Col_2
+                             .inner_key_col = 0,   // R.Col_1
+                             .inner_payload_cols = {1}};  // R.Col_2
+  spec.order = exec::PipelineOrder::kFilterFirst;
+  // SELECT S.Col_1, R.Col_2: combined index 64 is the payload column
+  // (appended after S's 64 columns).
+  spec.projection = {0, 64};
+  return spec;
+}
+
+exec::QuerySpec Q1Spec(std::string lineitem_table) {
+  exec::QuerySpec spec;
+  spec.name = "tpch_q1";
+  spec.table = std::move(lineitem_table);
+  spec.predicate =
+      ex::Le(ex::Col(kLShipDate), ex::Lit(DateToDays(1998, 9, 2)));
+  spec.group_by = {kLReturnFlag, kLLineStatus};
+  auto disc_price = [] {
+    return ex::Mul(ex::Col(kLExtendedPrice),
+                   ex::Sub(ex::Lit(100), ex::Col(kLDiscount)));
+  };
+  spec.aggregates.push_back(exec::AggSpec{.fn = exec::AggSpec::Fn::kSum,
+                                          .input = ex::Col(kLQuantity),
+                                          .name = "sum_qty"});
+  spec.aggregates.push_back(
+      exec::AggSpec{.fn = exec::AggSpec::Fn::kSum,
+                    .input = ex::Col(kLExtendedPrice),
+                    .name = "sum_base_price"});
+  spec.aggregates.push_back(exec::AggSpec{.fn = exec::AggSpec::Fn::kSum,
+                                          .input = disc_price(),
+                                          .name = "sum_disc_price"});
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kSum,
+      .input = ex::Mul(disc_price(),
+                       ex::Add(ex::Lit(100), ex::Col(kLTax))),
+      .name = "sum_charge"});
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kCount, .input = nullptr, .name = "count"});
+  return spec;
+}
+
+exec::QuerySpec TopNQuerySpec(std::string table, int num_columns,
+                              double selectivity, std::uint32_t limit,
+                              bool descending) {
+  SMARTSSD_CHECK_GE(num_columns, 3);
+  exec::QuerySpec spec;
+  spec.name = "topn_scan";
+  spec.table = std::move(table);
+  spec.predicate =
+      ex::Lt(ex::Col(2), ex::Lit(SelectivityThreshold(selectivity)));
+  spec.projection = {0, 1, 2};
+  spec.top_n = exec::TopNSpec{
+      .order_col = 0, .descending = descending, .limit = limit};
+  return spec;
+}
+
+exec::QuerySpec ScanQuerySpec(std::string table, int num_columns,
+                              double selectivity, bool aggregate,
+                              int projected_columns) {
+  SMARTSSD_CHECK_GE(num_columns, 3);
+  exec::QuerySpec spec;
+  spec.name = aggregate ? "scan_agg" : "scan";
+  spec.table = std::move(table);
+  spec.predicate =
+      ex::Lt(ex::Col(2), ex::Lit(SelectivityThreshold(selectivity)));
+  if (aggregate) {
+    spec.aggregates.push_back(exec::AggSpec{.fn = exec::AggSpec::Fn::kSum,
+                                            .input = ex::Col(0),
+                                            .name = "sum_col1"});
+  } else {
+    const int projected =
+        projected_columns <= 0 ? num_columns
+                               : std::min(projected_columns, num_columns);
+    for (int c = 0; c < projected; ++c) spec.projection.push_back(c);
+  }
+  return spec;
+}
+
+}  // namespace smartssd::tpch

@@ -1,0 +1,72 @@
+#ifndef SMARTSSD_TPCH_QUERIES_H_
+#define SMARTSSD_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/query_spec.h"
+
+namespace smartssd::tpch {
+
+// TPC-H Query 6 (Section 4.2.1):
+//   SELECT SUM(l_extendedprice * l_discount) FROM LINEITEM
+//   WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+//     AND l_discount > 0.05 AND l_discount < 0.07 AND l_quantity < 24
+// Predicates are evaluated in SQL order with short-circuiting, matching
+// the ~0.6% selectivity the paper quotes.
+exec::QuerySpec Q6Spec(std::string lineitem_table);
+
+// Revenue in dollars from Q6's single aggregate (both factors are
+// scaled by 100, so the sum is scaled by 10,000).
+double Q6Revenue(const std::vector<std::int64_t>& agg_values);
+
+// TPC-H Query 14 (Section 4.2.2.2): LINEITEM joins PART on partkey; the
+// paper's device plan (Figure 6) probes the PART hash table first and
+// applies the one-month shipdate window afterwards. Returns two sums:
+//   [0] SUM(CASE WHEN p_type LIKE 'PROMO%'
+//            THEN l_extendedprice*(100-l_discount) ELSE 0 END)
+//   [1] SUM(l_extendedprice*(100-l_discount))
+exec::QuerySpec Q14Spec(std::string lineitem_table,
+                        std::string part_table);
+
+// promo_revenue = 100 * sum[0] / sum[1] (the scale factors cancel).
+double Q14PromoRevenue(const std::vector<std::int64_t>& agg_values);
+
+// The selection-with-join query of Figures 4/5:
+//   SELECT S.Col_1, R.Col_2 FROM R, S
+//   WHERE R.Col_1 = S.Col_2 AND S.Col_3 < [VALUE]
+// with [VALUE] choosing `selectivity` of S's rows; selection runs before
+// the probe (Figure 4's plan).
+exec::QuerySpec JoinQuerySpec(std::string s_table, std::string r_table,
+                              double selectivity);
+
+// Single-table scan over a SyntheticK table with a Col_3 predicate of
+// the given selectivity (the SIGMOD'13 sweep queries). With
+// `aggregate` the query returns SUM(Col_1); otherwise it returns the
+// qualifying rows' first `projected_columns` columns (0 = all columns),
+// which makes result volume scale with selectivity.
+exec::QuerySpec ScanQuerySpec(std::string table, int num_columns,
+                              double selectivity, bool aggregate,
+                              int projected_columns = 0);
+
+// --- Extension queries (beyond the paper's evaluated class) ---
+
+// TPC-H Query 1: the classic scan-heavy grouped aggregation —
+//   SELECT l_returnflag, l_linestatus, SUM(l_quantity),
+//          SUM(l_extendedprice), SUM(l_extendedprice*(100-l_discount)),
+//          SUM(l_extendedprice*(100-l_discount)*(100+l_tax)), COUNT(*)
+//   WHERE l_shipdate <= '1998-09-02' GROUP BY 1, 2
+// Four groups, tiny result: an ideal pushdown shape that the paper's
+// prototype could not run (no GROUP BY operator in the device).
+exec::QuerySpec Q1Spec(std::string lineitem_table);
+
+// ORDER BY Col_1 LIMIT k over a SyntheticK table with a Col_3 filter:
+// top-N pushdown returns k rows no matter the selectivity.
+exec::QuerySpec TopNQuerySpec(std::string table, int num_columns,
+                              double selectivity, std::uint32_t limit,
+                              bool descending = true);
+
+}  // namespace smartssd::tpch
+
+#endif  // SMARTSSD_TPCH_QUERIES_H_

@@ -1,0 +1,71 @@
+#include "tpch/synthetic.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/random.h"
+
+namespace smartssd::tpch {
+
+storage::Schema SyntheticSchema(int num_columns) {
+  SMARTSSD_CHECK_GT(num_columns, 0);
+  std::vector<storage::Column> columns;
+  columns.reserve(static_cast<std::size_t>(num_columns));
+  for (int i = 1; i <= num_columns; ++i) {
+    columns.push_back(storage::Column::Int32("Col_" + std::to_string(i)));
+  }
+  auto schema = storage::Schema::Create(std::move(columns));
+  SMARTSSD_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<storage::TableInfo> LoadSyntheticR(engine::Database& db,
+                                          std::string name, int num_columns,
+                                          std::uint64_t rows,
+                                          storage::PageLayout layout,
+                                          std::uint64_t seed) {
+  auto rng = std::make_shared<Random>(seed);
+  const int cols = num_columns;
+  auto gen = [rng, cols](std::uint64_t row, storage::TupleWriter& w) {
+    w.SetInt32(0, static_cast<std::int32_t>(row + 1));  // Col_1: PK
+    for (int c = 1; c < cols; ++c) {
+      w.SetInt32(c, static_cast<std::int32_t>(rng->Uniform(1 << 30)));
+    }
+  };
+  return db.LoadTable(std::move(name), SyntheticSchema(num_columns), layout,
+                      rows, gen);
+}
+
+Result<storage::TableInfo> LoadSyntheticS(engine::Database& db,
+                                          std::string name, int num_columns,
+                                          std::uint64_t rows,
+                                          std::uint64_t r_rows,
+                                          storage::PageLayout layout,
+                                          std::uint64_t seed) {
+  SMARTSSD_CHECK_GE(num_columns, 3);
+  SMARTSSD_CHECK_GT(r_rows, 0u);
+  auto rng = std::make_shared<Random>(seed);
+  const int cols = num_columns;
+  auto gen = [rng, cols, r_rows](std::uint64_t row,
+                                 storage::TupleWriter& w) {
+    w.SetInt32(0, static_cast<std::int32_t>(row + 1));
+    // Col_2: FK into R.Col_1.
+    w.SetInt32(1, static_cast<std::int32_t>(rng->Uniform(r_rows) + 1));
+    // Col_3: selectivity column.
+    w.SetInt32(2, static_cast<std::int32_t>(
+                      rng->Uniform(kSelectivityDomain)));
+    for (int c = 3; c < cols; ++c) {
+      w.SetInt32(c, static_cast<std::int32_t>(rng->Uniform(1 << 30)));
+    }
+  };
+  return db.LoadTable(std::move(name), SyntheticSchema(num_columns), layout,
+                      rows, gen);
+}
+
+std::int64_t SelectivityThreshold(double selectivity) {
+  const double clamped = std::clamp(selectivity, 0.0, 1.0);
+  return static_cast<std::int64_t>(
+      clamped * static_cast<double>(kSelectivityDomain));
+}
+
+}  // namespace smartssd::tpch

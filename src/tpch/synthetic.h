@@ -1,0 +1,45 @@
+#ifndef SMARTSSD_TPCH_SYNTHETIC_H_
+#define SMARTSSD_TPCH_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "storage/schema.h"
+
+namespace smartssd::tpch {
+
+// The paper's synthetic tables (Section 4.1.1): SyntheticK tables have K
+// INT32 columns named Col_1..Col_K. Synthetic64_R's Col_1 is the primary
+// key; Synthetic64_S's Col_2 is a foreign key into R.Col_1. S.Col_3 is
+// uniform in [0, kSelectivityDomain), so a predicate
+//   Col_3 < selectivity * kSelectivityDomain
+// selects that fraction of rows exactly in expectation.
+inline constexpr std::int64_t kSelectivityDomain = 1'000'000'000;
+
+storage::Schema SyntheticSchema(int num_columns);
+
+// Loads an R-style table: Col_1 = row+1 (unique key), other columns
+// pseudo-random.
+Result<storage::TableInfo> LoadSyntheticR(engine::Database& db,
+                                          std::string name, int num_columns,
+                                          std::uint64_t rows,
+                                          storage::PageLayout layout,
+                                          std::uint64_t seed = 64001);
+
+// Loads an S-style table: Col_2 uniform in [1, r_rows] (FK into R),
+// Col_3 uniform in [0, kSelectivityDomain), other columns pseudo-random.
+Result<storage::TableInfo> LoadSyntheticS(engine::Database& db,
+                                          std::string name, int num_columns,
+                                          std::uint64_t rows,
+                                          std::uint64_t r_rows,
+                                          storage::PageLayout layout,
+                                          std::uint64_t seed = 64002);
+
+// Predicate threshold selecting ~`selectivity` of an S table's rows.
+std::int64_t SelectivityThreshold(double selectivity);
+
+}  // namespace smartssd::tpch
+
+#endif  // SMARTSSD_TPCH_SYNTHETIC_H_

@@ -1,0 +1,79 @@
+#ifndef SMARTSSD_TPCH_TPCH_GEN_H_
+#define SMARTSSD_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "storage/schema.h"
+
+namespace smartssd::tpch {
+
+// LINEITEM and PART with the paper's modifications (Section 4.1.1):
+//   1. variable-length strings become fixed-length CHARs,
+//   2. decimals are stored as integers scaled by 100,
+//   3. dates are day counts since the epoch (1992-01-01).
+//
+// Column order follows TPC-H. At SF 100 the paper's LINEITEM has 600M
+// tuples (~90 GB) and PART 20M (~3 GB); rows scale linearly with SF.
+
+// LINEITEM column indexes.
+enum LineitemCol : int {
+  kLOrderKey = 0,   // INT64
+  kLPartKey,        // INT32
+  kLSuppKey,        // INT32
+  kLLineNumber,     // INT32
+  kLQuantity,       // INT32, 1..50
+  kLExtendedPrice,  // INT64, cents
+  kLDiscount,       // INT32, percent 0..10 (x100 of the decimal)
+  kLTax,            // INT32, percent 0..8
+  kLReturnFlag,     // CHAR(1)
+  kLLineStatus,     // CHAR(1)
+  kLShipDate,       // INT32, days since epoch
+  kLCommitDate,     // INT32
+  kLReceiptDate,    // INT32
+  kLShipInstruct,   // CHAR(25)
+  kLShipMode,       // CHAR(10)
+  kLComment,        // CHAR(44)
+};
+
+// PART column indexes.
+enum PartCol : int {
+  kPPartKey = 0,   // INT32
+  kPName,          // CHAR(55)
+  kPMfgr,          // CHAR(25)
+  kPBrand,         // CHAR(10)
+  kPType,          // CHAR(25) — 'PROMO ...' for 1/6 of parts
+  kPSize,          // INT32
+  kPContainer,     // CHAR(10)
+  kPRetailPrice,   // INT64, cents
+  kPComment,       // CHAR(23)
+};
+
+storage::Schema LineitemSchema();
+storage::Schema PartSchema();
+
+inline std::uint64_t LineitemRows(double scale_factor) {
+  return static_cast<std::uint64_t>(6'000'000.0 * scale_factor);
+}
+inline std::uint64_t PartRows(double scale_factor) {
+  return static_cast<std::uint64_t>(200'000.0 * scale_factor);
+}
+
+// Loads LINEITEM (named `name`) at `scale_factor` into `db` with the
+// given layout. Deterministic for a given (scale_factor, seed).
+Result<storage::TableInfo> LoadLineitem(engine::Database& db,
+                                        std::string name,
+                                        double scale_factor,
+                                        storage::PageLayout layout,
+                                        std::uint64_t seed = 19920101);
+
+Result<storage::TableInfo> LoadPart(engine::Database& db, std::string name,
+                                    double scale_factor,
+                                    storage::PageLayout layout,
+                                    std::uint64_t seed = 19940101);
+
+}  // namespace smartssd::tpch
+
+#endif  // SMARTSSD_TPCH_TPCH_GEN_H_

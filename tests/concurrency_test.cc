@@ -1,0 +1,88 @@
+// Concurrent query execution on one device: overlapping virtual
+// timelines share every modelled resource (embedded cores, flash
+// channels, DRAM bus, host link) through the FIFO servers.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace smartssd::engine {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest() : db_(DatabaseOptions::PaperSmartSsd()) {
+    SMARTSSD_CHECK(tpch::LoadLineitem(db_, "a", 0.005,
+                                      storage::PageLayout::kPax)
+                       .ok());
+    SMARTSSD_CHECK(tpch::LoadLineitem(db_, "b", 0.005,
+                                      storage::PageLayout::kPax)
+                       .ok());
+    db_.ResetForColdRun();
+  }
+
+  Database db_;
+};
+
+TEST_F(ConcurrencyTest, CoRunningPushdownsShareTheDeviceFairly) {
+  QueryExecutor executor(&db_);
+  // Solo reference.
+  auto solo = executor.Execute(tpch::Q6Spec("a"),
+                               ExecutionTarget::kSmartSsd, 0);
+  ASSERT_TRUE(solo.ok());
+  const SimDuration solo_elapsed = solo->stats.elapsed();
+
+  // Two sessions, both issued at t=0.
+  db_.ResetForColdRun();
+  auto first = executor.Execute(tpch::Q6Spec("a"),
+                                ExecutionTarget::kSmartSsd, 0);
+  auto second = executor.Execute(tpch::Q6Spec("b"),
+                                 ExecutionTarget::kSmartSsd, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Same answers as solo.
+  EXPECT_EQ(first->agg_values, solo->agg_values);
+
+  // The pair takes about twice the solo time (CPU-bound sharing), and
+  // certainly more than either alone and less than 2.5x.
+  const SimTime span = std::max(first->stats.end, second->stats.end);
+  EXPECT_GT(span, solo_elapsed);
+  EXPECT_NEAR(static_cast<double>(span) /
+                  static_cast<double>(solo_elapsed),
+              2.0, 0.5);
+}
+
+TEST_F(ConcurrencyTest, StaggeredQueriesQueueBehindEachOther) {
+  QueryExecutor executor(&db_);
+  auto first = executor.Execute(tpch::Q6Spec("a"),
+                                ExecutionTarget::kSmartSsd, 0);
+  ASSERT_TRUE(first.ok());
+  // Issue the second halfway through the first.
+  const SimTime midpoint = (first->stats.start + first->stats.end) / 2;
+  auto second = executor.Execute(tpch::Q6Spec("b"),
+                                 ExecutionTarget::kSmartSsd, midpoint);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->stats.start, midpoint);
+  // The second finishes later than it would have alone.
+  EXPECT_GT(second->stats.elapsed(), first->stats.elapsed());
+}
+
+TEST_F(ConcurrencyTest, MixedHostAndPushdownOverlap) {
+  QueryExecutor executor(&db_);
+  auto smart = executor.Execute(tpch::Q6Spec("a"),
+                                ExecutionTarget::kSmartSsd, 0);
+  auto host = executor.Execute(tpch::Q6Spec("b"),
+                               ExecutionTarget::kHost, 0);
+  ASSERT_TRUE(smart.ok());
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(smart->agg_values, host->agg_values);  // same data generator
+  // Both make progress concurrently: the span is far less than the sum.
+  const SimTime span = std::max(smart->stats.end, host->stats.end);
+  EXPECT_LT(span, smart->stats.elapsed() + host->stats.elapsed());
+}
+
+}  // namespace
+}  // namespace smartssd::engine

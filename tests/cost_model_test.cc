@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "exec/cost_model.h"
+#include "ssd/interface_trends.h"
+
+namespace smartssd::exec {
+namespace {
+
+TEST(CostModelTest, CyclesAreLinearInCounts) {
+  const CpuCostParams params = EmbeddedCostParams(storage::PageLayout::kPax);
+  OpCounts counts;
+  counts.pages = 10;
+  counts.tuples = 1000;
+  counts.eval.comparisons = 2000;
+  const std::uint64_t once = Cycles(counts, params, 16, 0);
+  OpCounts doubled = counts;
+  doubled += counts;
+  EXPECT_EQ(Cycles(doubled, params, 16, 0), 2 * once);
+}
+
+TEST(CostModelTest, PageCostScalesWithSchemaWidth) {
+  const CpuCostParams params = EmbeddedCostParams(storage::PageLayout::kPax);
+  OpCounts counts;
+  counts.pages = 100;
+  const std::uint64_t narrow = Cycles(counts, params, 8, 0);
+  const std::uint64_t wide = Cycles(counts, params, 64, 0);
+  EXPECT_EQ(wide - narrow, 100 * params.page_per_column * (64 - 8));
+}
+
+TEST(CostModelTest, ProbeTierSwitchesOnHashTableSize) {
+  const CpuCostParams params = EmbeddedCostParams(storage::PageLayout::kPax);
+  OpCounts counts;
+  counts.probes = 1000;
+  const std::uint64_t cached =
+      Cycles(counts, params, 1, params.probe_large_threshold_entries);
+  const std::uint64_t spilled =
+      Cycles(counts, params, 1, params.probe_large_threshold_entries + 1);
+  EXPECT_EQ(cached, 1000 * params.probe_small);
+  EXPECT_EQ(spilled, 1000 * params.probe_large);
+  EXPECT_GT(spilled, cached);
+}
+
+TEST(CostModelTest, EmbeddedCostsExceedHostCosts) {
+  // The structural premise of the paper: the same work costs more
+  // cycles on the in-order embedded cores than on the host Xeons.
+  for (const auto layout :
+       {storage::PageLayout::kNsm, storage::PageLayout::kPax}) {
+    const CpuCostParams embedded = EmbeddedCostParams(layout);
+    const CpuCostParams host = HostCostParams(layout);
+    EXPECT_GT(embedded.tuple_base, host.tuple_base);
+    EXPECT_GT(embedded.comparison, host.comparison);
+    EXPECT_GT(embedded.output_tuple, host.output_tuple);
+    EXPECT_GT(embedded.agg_update, host.agg_update);
+  }
+}
+
+TEST(CostModelTest, PaxBeatsNsmPerTupleOnTheDevice) {
+  // The Figure 3/7 premise: PAX's column-local access is cheaper per
+  // tuple on the embedded cores.
+  const CpuCostParams pax = EmbeddedCostParams(storage::PageLayout::kPax);
+  const CpuCostParams nsm = EmbeddedCostParams(storage::PageLayout::kNsm);
+  EXPECT_LT(pax.tuple_base, nsm.tuple_base);
+  EXPECT_LT(pax.comparison, nsm.comparison);
+  EXPECT_LT(pax.column_read, nsm.column_read);
+}
+
+TEST(CostModelTest, AllNewOperatorCountsAreCharged) {
+  const CpuCostParams params = EmbeddedCostParams(storage::PageLayout::kPax);
+  OpCounts counts;
+  counts.group_updates = 10;
+  counts.topn_updates = 5;
+  EXPECT_EQ(Cycles(counts, params, 1, 0),
+            10 * params.group_update + 5 * params.topn_update);
+}
+
+}  // namespace
+}  // namespace smartssd::exec
+
+namespace smartssd::ssd {
+namespace {
+
+TEST(InterfaceTrendsTest, SeriesIsWellFormed) {
+  const auto& trends = BandwidthTrends();
+  ASSERT_GE(trends.size(), 10u);
+  EXPECT_EQ(trends.front().year, 2007);
+  int prev_year = 0;
+  std::uint64_t prev_host = 0;
+  std::uint64_t prev_internal = 0;
+  for (const auto& point : trends) {
+    EXPECT_GT(point.year, prev_year);
+    EXPECT_GE(point.host_interface_bytes_per_second, prev_host);
+    EXPECT_GT(point.internal_bytes_per_second, prev_internal);
+    prev_year = point.year;
+    prev_host = point.host_interface_bytes_per_second;
+    prev_internal = point.internal_bytes_per_second;
+  }
+}
+
+TEST(InterfaceTrendsTest, GapAround2012IsAboutTenX) {
+  // Section 4.2: "far smaller than the gap shown in Figure 1 (about
+  // 10X)" for the 2012-era device.
+  for (const auto& point : BandwidthTrends()) {
+    if (point.year == 2012) {
+      const double gap = InternalRelative(point) / HostRelative(point);
+      EXPECT_NEAR(gap, 10.0, 1.5);
+      return;
+    }
+  }
+  FAIL() << "no 2012 point in the trend series";
+}
+
+TEST(InterfaceTrendsTest, BaselineNormalization) {
+  const auto& first = BandwidthTrends().front();
+  EXPECT_NEAR(HostRelative(first), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace smartssd::ssd

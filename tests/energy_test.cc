@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace smartssd::energy {
+namespace {
+
+engine::QueryStats MakeStats(double seconds, std::uint64_t link_bytes) {
+  engine::QueryStats stats;
+  stats.start = 0;
+  stats.end = static_cast<SimTime>(seconds * kSecond);
+  stats.bytes_over_host_link = link_bytes;
+  return stats;
+}
+
+TEST(EnergyModelTest, IdleBaseDominatesAtZeroActivity) {
+  const engine::HostConfig host;
+  const ssd::DevicePowerProfile device{.active_watts = 0,
+                                       .idle_watts = 0};
+  const auto energy = ComputeEnergy(MakeStats(10.0, 0), host, device);
+  // 10 s x (235 idle + 105 active overhead) = 3.4 kJ.
+  EXPECT_NEAR(energy.system_kilojoules, 3.4, 0.01);
+  EXPECT_EQ(energy.io_kilojoules, 0.0);
+  EXPECT_NEAR(energy.over_idle_kilojoules, 1.05, 0.01);
+}
+
+TEST(EnergyModelTest, DataRateTermScalesWithIngest) {
+  const engine::HostConfig host;
+  const ssd::DevicePowerProfile device{.active_watts = 8,
+                                       .idle_watts = 1};
+  // 550 MB/s for 10 seconds = 5.5 GB over the link.
+  const auto busy =
+      ComputeEnergy(MakeStats(10.0, 5'500'000'000ull), host, device);
+  const auto quiet = ComputeEnergy(MakeStats(10.0, 0), host, device);
+  const double delta_watts = (busy.system_kilojoules -
+                              quiet.system_kilojoules) *
+                             1000.0 / 10.0;
+  EXPECT_NEAR(delta_watts, host.per_gbps_watts * 0.55, 0.5);
+}
+
+TEST(EnergyModelTest, IoSubsystemIsDeviceOnly) {
+  const engine::HostConfig host;
+  const ssd::DevicePowerProfile device{.active_watts = 12.5,
+                                       .idle_watts = 7};
+  const auto energy = ComputeEnergy(MakeStats(100.0, 0), host, device);
+  EXPECT_NEAR(energy.io_kilojoules, 1.25, 0.001);
+}
+
+TEST(EnergyModelTest, AverageWattsConsistentWithTotals) {
+  const engine::HostConfig host;
+  const ssd::DevicePowerProfile device{.active_watts = 10,
+                                       .idle_watts = 1};
+  const auto energy =
+      ComputeEnergy(MakeStats(42.0, 1'000'000'000ull), host, device);
+  EXPECT_NEAR(energy.system_kilojoules,
+              energy.average_system_watts * 42.0 / 1000.0, 1e-9);
+  EXPECT_NEAR(energy.over_idle_kilojoules,
+              (energy.average_system_watts - host.idle_system_watts) *
+                  42.0 / 1000.0,
+              1e-9);
+}
+
+// The Table 3 scenario in miniature: identical work, HDD taking ~7x
+// longer at lower power still burns far more energy.
+TEST(EnergyModelTest, SlowerDeviceBurnsMoreDespiteLowerPower) {
+  const engine::HostConfig host;
+  const ssd::DevicePowerProfile hdd{.active_watts = 12.5, .idle_watts = 7};
+  const ssd::DevicePowerProfile smart{.active_watts = 10, .idle_watts = 1};
+  const auto hdd_energy =
+      ComputeEnergy(MakeStats(1000.0, 80'000'000'000ull), host, hdd);
+  const auto smart_energy =
+      ComputeEnergy(MakeStats(87.0, 1'000'000ull), host, smart);
+  EXPECT_GT(hdd_energy.system_kilojoules,
+            10 * smart_energy.system_kilojoules);
+  EXPECT_GT(hdd_energy.io_kilojoules, 10 * smart_energy.io_kilojoules);
+}
+
+}  // namespace
+}  // namespace smartssd::energy

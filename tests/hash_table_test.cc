@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/hash_table.h"
+
+namespace smartssd::exec {
+namespace {
+
+std::vector<std::byte> Payload(std::int64_t v) {
+  std::vector<std::byte> payload(8);
+  std::memcpy(payload.data(), &v, 8);
+  return payload;
+}
+
+TEST(JoinHashTableTest, InsertAndProbe) {
+  JoinHashTable table(8, 16);
+  ASSERT_TRUE(table.Insert(1, Payload(100)).ok());
+  ASSERT_TRUE(table.Insert(2, Payload(200)).ok());
+  const std::byte* hit = table.Probe(1);
+  ASSERT_NE(hit, nullptr);
+  std::int64_t v;
+  std::memcpy(&v, hit, 8);
+  EXPECT_EQ(v, 100);
+  EXPECT_EQ(table.Probe(3), nullptr);
+  EXPECT_EQ(table.entries(), 2u);
+}
+
+TEST(JoinHashTableTest, DuplicateKeyRejected) {
+  JoinHashTable table(8, 16);
+  ASSERT_TRUE(table.Insert(1, Payload(100)).ok());
+  auto status = table.Insert(1, Payload(999));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  // Original payload intact.
+  std::int64_t v;
+  std::memcpy(&v, table.Probe(1), 8);
+  EXPECT_EQ(v, 100);
+}
+
+TEST(JoinHashTableTest, WrongPayloadWidthRejected) {
+  JoinHashTable table(4, 16);
+  EXPECT_FALSE(table.Insert(1, Payload(9)).ok());  // 8 bytes into 4-wide
+}
+
+TEST(JoinHashTableTest, ZeroWidthPayload) {
+  JoinHashTable table(0, 4);
+  ASSERT_TRUE(table.Insert(5, {}).ok());
+  // A hit returns a (possibly empty) non-null sentinel... probe semantics:
+  // key 5 present.
+  EXPECT_NE(table.Probe(5), nullptr);
+  EXPECT_EQ(table.Probe(6), nullptr);
+}
+
+TEST(JoinHashTableTest, GrowsBeyondExpectedEntries) {
+  JoinHashTable table(8, 4);  // deliberately undersized
+  for (std::int64_t k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(table.Insert(k, Payload(k * 2)).ok()) << k;
+  }
+  EXPECT_EQ(table.entries(), 10000u);
+  for (std::int64_t k = 0; k < 10000; ++k) {
+    const std::byte* hit = table.Probe(k);
+    ASSERT_NE(hit, nullptr) << k;
+    std::int64_t v;
+    std::memcpy(&v, hit, 8);
+    EXPECT_EQ(v, k * 2);
+  }
+}
+
+TEST(JoinHashTableTest, NegativeAndExtremeKeys) {
+  JoinHashTable table(8, 8);
+  const std::int64_t keys[] = {-1, 0, std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t k : keys) {
+    ASSERT_TRUE(table.Insert(k, Payload(k ^ 7)).ok());
+  }
+  for (const std::int64_t k : keys) {
+    const std::byte* hit = table.Probe(k);
+    ASSERT_NE(hit, nullptr);
+    std::int64_t v;
+    std::memcpy(&v, hit, 8);
+    EXPECT_EQ(v, k ^ 7);
+  }
+}
+
+TEST(JoinHashTableTest, RandomizedAgainstReference) {
+  Random rng(77);
+  JoinHashTable table(8, 64);
+  std::unordered_map<std::int64_t, std::int64_t> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t key =
+        static_cast<std::int64_t>(rng.Uniform(2000));
+    const std::int64_t value = static_cast<std::int64_t>(rng.NextUint64());
+    const bool inserted = table.Insert(key, Payload(value)).ok();
+    const bool expected_new = reference.emplace(key, value).second;
+    EXPECT_EQ(inserted, expected_new);
+  }
+  EXPECT_EQ(table.entries(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const std::byte* hit = table.Probe(key);
+    ASSERT_NE(hit, nullptr);
+    std::int64_t v;
+    std::memcpy(&v, hit, 8);
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST(JoinHashTableTest, MemoryEstimateCoversActualUsage) {
+  const std::uint64_t entries = 5000;
+  const std::uint64_t estimate = JoinHashTable::EstimateBytes(entries, 8);
+  JoinHashTable table(8, entries);
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(entries); ++k) {
+    ASSERT_TRUE(table.Insert(k, Payload(k)).ok());
+  }
+  EXPECT_LE(table.memory_bytes(), estimate + estimate / 4);
+  EXPECT_GE(estimate, table.memory_bytes() / 2);
+}
+
+}  // namespace
+}  // namespace smartssd::exec

@@ -1,0 +1,140 @@
+// Failure injection: the flash reliability model (raw bit errors, ECC
+// correction, read-retry, uncorrectable reads) and its propagation
+// through the FTL and device stack.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flash/flash_array.h"
+#include "ftl/ftl.h"
+#include "ssd/ssd_device.h"
+
+namespace smartssd::flash {
+namespace {
+
+Geometry TinyGeometry() {
+  Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 8;
+  g.pages_per_block = 8;
+  g.page_size_bytes = 4096;
+  return g;
+}
+
+TEST(ReliabilityTest, ZeroRateNeverInterferes) {
+  FlashArray array(TinyGeometry(), Timings{}, Reliability{});
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(array.ReadPageTiming(PageAddress{0, 0, 0, 0}, 0).ok());
+  }
+  EXPECT_EQ(array.reads_corrected(), 0u);
+  EXPECT_EQ(array.read_retries(), 0u);
+  EXPECT_EQ(array.uncorrectable_reads(), 0u);
+}
+
+TEST(ReliabilityTest, ModerateRateIsCorrectedSilently) {
+  // ~3e-4 raw BER over 32768 bits => ~10 raw errors/page, well inside
+  // the 40-bit correction strength: every read succeeds, many are
+  // corrected, none retried.
+  Reliability reliability;
+  reliability.raw_bit_error_rate = 3e-4;
+  FlashArray array(TinyGeometry(), Timings{}, reliability);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(array.ReadPageTiming(PageAddress{0, 0, 0, 0}, 0).ok());
+  }
+  EXPECT_GT(array.reads_corrected(), 400u);
+  EXPECT_EQ(array.read_retries(), 0u);
+  EXPECT_EQ(array.uncorrectable_reads(), 0u);
+}
+
+TEST(ReliabilityTest, HighRateTriggersRetriesButRecovers) {
+  // ~60 raw errors/page exceeds 40 correctable; one retry halves it to
+  // ~30, which passes. Reads succeed but cost retries.
+  Reliability reliability;
+  reliability.raw_bit_error_rate = 1.8e-3;
+  FlashArray array(TinyGeometry(), Timings{}, reliability);
+  SimTime clean_done = 0;
+  {
+    FlashArray clean(TinyGeometry(), Timings{}, Reliability{});
+    clean_done = clean.ReadPageTiming(PageAddress{0, 0, 0, 0}, 0).value();
+  }
+  std::uint64_t successes = 0;
+  SimTime worst = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto read = array.ReadPageTiming(PageAddress{0, 0, 1, 0}, 0);
+    if (read.ok()) {
+      ++successes;
+      worst = std::max(worst, read.value());
+    }
+  }
+  EXPECT_EQ(successes, 200u);
+  EXPECT_GT(array.read_retries(), 100u);
+  // Retries cost real time: the worst read takes noticeably longer than
+  // a clean one (it queues behind others too, so compare magnitudes).
+  EXPECT_GT(worst, clean_done);
+}
+
+TEST(ReliabilityTest, ExtremeRateBecomesUncorrectable) {
+  // ~400 raw errors/page: even 3 retries (scaling to ~50) cannot get
+  // under 40 reliably; most reads fail with CORRUPTION.
+  Reliability reliability;
+  reliability.raw_bit_error_rate = 1.2e-2;
+  reliability.max_read_retries = 2;
+  FlashArray array(TinyGeometry(), Timings{}, reliability);
+  std::uint64_t failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto read = array.ReadPageTiming(PageAddress{0, 0, 0, 0}, 0);
+    if (!read.ok()) {
+      EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 50u);
+  EXPECT_EQ(array.uncorrectable_reads(), failures);
+}
+
+TEST(ReliabilityTest, ErrorsPropagateThroughFtl) {
+  Reliability reliability;
+  reliability.raw_bit_error_rate = 5e-2;  // hopeless
+  reliability.max_read_retries = 1;
+  FlashArray array(TinyGeometry(), Timings{}, reliability);
+  ftl::Ftl ftl(&array, ftl::FtlConfig{});
+  std::vector<std::byte> page(4096, std::byte{1});
+  ASSERT_TRUE(ftl.Write(0, page, 0).ok());
+  auto read = ftl.Read(0, page, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReliabilityTest, ErrorsPropagateThroughDevice) {
+  ssd::SsdConfig config = ssd::SsdConfig::Tiny();
+  config.reliability.raw_bit_error_rate = 5e-2;
+  config.reliability.max_read_retries = 1;
+  ssd::SsdDevice device(config);
+  std::vector<std::byte> page(device.page_size(), std::byte{2});
+  ASSERT_TRUE(device.WritePages(0, 1, page, 0).ok());
+  auto read = device.ReadPages(0, 1, page, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReliabilityTest, DeterministicForSeed) {
+  Reliability reliability;
+  reliability.raw_bit_error_rate = 2e-3;
+  reliability.seed = 777;
+  auto run = [&]() {
+    FlashArray array(TinyGeometry(), Timings{}, reliability);
+    std::uint64_t ok_count = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (array.ReadPageTiming(PageAddress{0, 0, 0, 0}, 0).ok()) {
+        ++ok_count;
+      }
+    }
+    return std::make_pair(ok_count, array.read_retries());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace smartssd::flash

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssd/ssd_device.h"
+
+namespace smartssd::ssd {
+namespace {
+
+SsdConfig SmallPaperConfig() {
+  SsdConfig config = SsdConfig::PaperSmartSsd();
+  config.geometry.blocks_per_chip = 32;  // keep tests light
+  return config;
+}
+
+void Preload(SsdDevice& device, std::uint64_t pages) {
+  std::vector<std::byte> buffer(
+      static_cast<std::size_t>(32) * device.page_size(), std::byte{0x33});
+  SimTime t = 0;
+  for (std::uint64_t lpn = 0; lpn < pages; lpn += 32) {
+    auto done = device.WritePages(lpn, 32, buffer, t);
+    ASSERT_TRUE(done.ok());
+    t = done.value();
+  }
+  device.ResetTiming();
+}
+
+double MeasuredHostMBps(SsdDevice& device, std::uint64_t pages) {
+  SimTime done = 0;
+  for (std::uint64_t lpn = 0; lpn < pages; lpn += 32) {
+    auto r = device.ReadPages(lpn, 32, {}, 0);
+    EXPECT_TRUE(r.ok());
+    done = r.value();
+  }
+  return static_cast<double>(pages) * device.page_size() /
+         ToSeconds(done) / 1e6;
+}
+
+double MeasuredInternalMBps(SsdDevice& device, std::uint64_t pages) {
+  SimTime done = 0;
+  for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+    auto r = device.InternalReadPageTiming(lpn, 0);
+    EXPECT_TRUE(r.ok());
+    done = std::max(done, r.value());
+  }
+  return static_cast<double>(pages) * device.page_size() /
+         ToSeconds(done) / 1e6;
+}
+
+// The Table 2 invariant: host path saturates the SAS link (~550 MB/s),
+// internal path saturates the DRAM bus (~1,560 MB/s), a ~2.8x gap.
+TEST(SsdDeviceTest, Table2BandwidthGap) {
+  SsdDevice device(SmallPaperConfig());
+  constexpr std::uint64_t kPages = 8192;
+  Preload(device, kPages);
+
+  const double host = MeasuredHostMBps(device, kPages);
+  device.ResetTiming();
+  const double internal = MeasuredInternalMBps(device, kPages);
+
+  EXPECT_NEAR(host, 550.0, 20.0);
+  EXPECT_NEAR(internal, 1560.0, 40.0);
+  EXPECT_NEAR(internal / host, 2.8, 0.15);
+}
+
+TEST(SsdDeviceTest, MoreDramBusesRaiseInternalBandwidth) {
+  SsdConfig config = SmallPaperConfig();
+  config.dram.bus_count = 2;
+  SsdDevice device(config);
+  constexpr std::uint64_t kPages = 8192;
+  Preload(device, kPages);
+  const double internal = MeasuredInternalMBps(device, kPages);
+  // Two buses double the DRAM path; the channel aggregate (8 x 330)
+  // becomes the next ceiling.
+  EXPECT_GT(internal, 2400.0);
+}
+
+TEST(SsdDeviceTest, ReadBackMatchesWrittenData) {
+  SsdDevice device(SmallPaperConfig());
+  const std::uint32_t page = device.page_size();
+  std::vector<std::byte> data(2 * page);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7);
+  }
+  ASSERT_TRUE(device.WritePages(10, 2, data, 0).ok());
+  std::vector<std::byte> out(2 * page);
+  ASSERT_TRUE(device.ReadPages(10, 2, out, 0).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SsdDeviceTest, SmallBufferRejected) {
+  SsdDevice device(SmallPaperConfig());
+  std::vector<std::byte> tiny(16);
+  EXPECT_FALSE(device.ReadPages(0, 2, tiny, 0).ok());
+  EXPECT_FALSE(device.WritePages(0, 2, tiny, 0).ok());
+}
+
+TEST(SsdDeviceTest, ZeroCountIsNoop) {
+  SsdDevice device(SmallPaperConfig());
+  auto r = device.ReadPages(0, 0, {}, 42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42u);
+}
+
+TEST(SsdDeviceTest, DeviceDramAccounting) {
+  SsdDevice device(SmallPaperConfig());
+  const std::uint64_t total = device.device_dram_free();
+  EXPECT_GT(total, 0u);
+  ASSERT_TRUE(device.AllocateDeviceDram(total / 2).ok());
+  EXPECT_EQ(device.device_dram_free(), total - total / 2);
+  // Over-allocation fails and leaves accounting unchanged.
+  auto status = device.AllocateDeviceDram(total);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(device.device_dram_free(), total - total / 2);
+  device.ReleaseDeviceDram(total / 2);
+  EXPECT_EQ(device.device_dram_free(), total);
+}
+
+TEST(SsdDeviceTest, EmbeddedCpuParallelism) {
+  SsdConfig config = SmallPaperConfig();
+  config.embedded_cpu.cores = 3;
+  config.embedded_cpu.clock_hz = 1'000'000'000;  // 1 GHz: 1 cycle = 1 ns
+  SsdDevice device(config);
+  // Six 100-cycle tasks on three cores: two rounds.
+  SimTime last = 0;
+  for (int i = 0; i < 6; ++i) {
+    last = std::max(last, device.ExecuteOnDevice(100, 0));
+  }
+  EXPECT_EQ(last, 200u);
+  EXPECT_EQ(device.embedded_cpu_busy(), 600u);
+}
+
+TEST(SsdDeviceTest, TransferToHostUsesLinkRate) {
+  SsdDevice device(SmallPaperConfig());
+  const SimTime done = device.TransferToHost(550 * kMB, 0);
+  EXPECT_NEAR(ToSeconds(done), 1.0, 0.01);
+}
+
+TEST(SsdDeviceTest, HostCommandCostsCommandLatency) {
+  SsdConfig config = SmallPaperConfig();
+  SsdDevice device(config);
+  const SimTime done = device.HostCommand(0);
+  EXPECT_EQ(done, config.host_interface.command_latency);
+}
+
+TEST(SsdDeviceTest, InterfaceStandardsChangeHostBandwidth) {
+  EXPECT_LT(EffectiveBytesPerSecond(HostInterfaceStandard::kSata3g),
+            EffectiveBytesPerSecond(HostInterfaceStandard::kSas6g));
+  EXPECT_LT(EffectiveBytesPerSecond(HostInterfaceStandard::kSas6g),
+            EffectiveBytesPerSecond(HostInterfaceStandard::kSas12g));
+  EXPECT_LT(EffectiveBytesPerSecond(HostInterfaceStandard::kSas12g),
+            EffectiveBytesPerSecond(HostInterfaceStandard::kPcie3x4));
+}
+
+TEST(SsdDeviceTest, PaperConfigsDifferOnlyInPower) {
+  const SsdConfig ssd = SsdConfig::PaperSsd();
+  const SsdConfig smart = SsdConfig::PaperSmartSsd();
+  EXPECT_EQ(ssd.geometry.channels, smart.geometry.channels);
+  EXPECT_EQ(ssd.dram.bus_bytes_per_second, smart.dram.bus_bytes_per_second);
+  EXPECT_LT(ssd.power.active_watts, smart.power.active_watts);
+}
+
+}  // namespace
+}  // namespace smartssd::ssd

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "storage/nsm_page.h"
+#include "storage/tuple.h"
+#include "tpch/dates.h"
+#include "tpch/queries.h"
+#include "tpch/synthetic.h"
+#include "tpch/tpch_gen.h"
+
+namespace smartssd::tpch {
+namespace {
+
+TEST(DatesTest, EpochAndKnownDates) {
+  EXPECT_EQ(DateToDays(1992, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1992, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(DateToDays(1994, 1, 1), 731);
+  EXPECT_EQ(DateToDays(1995, 1, 1), 1096);
+  // One-month window length for Q14.
+  EXPECT_EQ(DateToDays(1995, 10, 1) - DateToDays(1995, 9, 1), 30);
+  EXPECT_LT(kMinShipDate, kMaxShipDate);
+}
+
+TEST(TpchSchemaTest, ShapesMatchPaperModifications) {
+  const storage::Schema lineitem = LineitemSchema();
+  EXPECT_EQ(lineitem.num_columns(), 16);
+  // All fixed-length: decimals as ints, dates as ints, chars fixed.
+  EXPECT_EQ(lineitem.column(kLExtendedPrice).type,
+            storage::ColumnType::kInt64);
+  EXPECT_EQ(lineitem.column(kLDiscount).type, storage::ColumnType::kInt32);
+  EXPECT_EQ(lineitem.column(kLShipDate).type, storage::ColumnType::kInt32);
+  EXPECT_EQ(lineitem.column(kLComment).type,
+            storage::ColumnType::kFixedChar);
+  EXPECT_EQ(lineitem.tuple_size(), 133u);
+
+  const storage::Schema part = PartSchema();
+  EXPECT_EQ(part.num_columns(), 9);
+  EXPECT_EQ(part.column(kPType).width, 25u);
+}
+
+TEST(TpchSchemaTest, RowCountsScale) {
+  EXPECT_EQ(LineitemRows(1.0), 6'000'000u);
+  EXPECT_EQ(LineitemRows(100.0), 600'000'000u);
+  EXPECT_EQ(PartRows(100.0), 20'000'000u);
+}
+
+class TpchDataTest : public ::testing::Test {
+ protected:
+  TpchDataTest() : db_(engine::DatabaseOptions::PaperSmartSsd()) {}
+
+  engine::Database db_;
+};
+
+TEST_F(TpchDataTest, LineitemColumnDomains) {
+  auto info = LoadLineitem(db_, "lineitem", 0.002,
+                           storage::PageLayout::kNsm);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->tuple_count, 12000u);
+
+  std::vector<std::byte> page(db_.device().page_size());
+  std::uint64_t rows = 0;
+  std::uint64_t q6_qualifying = 0;
+  for (std::uint64_t p = 0; p < info->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(info->first_lpn + p, 1, page, 0).ok());
+    auto reader = storage::NsmPageReader::Open(&info->schema, page);
+    ASSERT_TRUE(reader.ok());
+    for (std::uint16_t i = 0; i < reader->tuple_count(); ++i, ++rows) {
+      const storage::TupleReader t(&info->schema, reader->tuple(i));
+      EXPECT_GE(t.GetInt32(kLQuantity), 1);
+      EXPECT_LE(t.GetInt32(kLQuantity), 50);
+      EXPECT_GE(t.GetInt32(kLDiscount), 0);
+      EXPECT_LE(t.GetInt32(kLDiscount), 10);
+      EXPECT_GE(t.GetInt32(kLShipDate), kMinShipDate);
+      EXPECT_LE(t.GetInt32(kLShipDate), kMaxShipDate);
+      EXPECT_EQ(t.GetInt64(kLExtendedPrice) % t.GetInt32(kLQuantity), 0);
+      const bool q6 = t.GetInt32(kLShipDate) >= DateToDays(1994, 1, 1) &&
+                      t.GetInt32(kLShipDate) < DateToDays(1995, 1, 1) &&
+                      t.GetInt32(kLDiscount) > 5 &&
+                      t.GetInt32(kLDiscount) < 7 &&
+                      t.GetInt32(kLQuantity) < 24;
+      if (q6) ++q6_qualifying;
+    }
+  }
+  EXPECT_EQ(rows, info->tuple_count);
+  // Q6 selectivity ~0.6% (the paper's number): 1/7 years x 1/11
+  // discounts x 23/50 quantities = 0.597%.
+  const double selectivity =
+      static_cast<double>(q6_qualifying) / static_cast<double>(rows);
+  EXPECT_NEAR(selectivity, 0.006, 0.002);
+}
+
+TEST_F(TpchDataTest, PartPromoFractionIsOneSixth) {
+  auto info = LoadPart(db_, "part", 0.05, storage::PageLayout::kNsm);
+  ASSERT_TRUE(info.ok());
+  std::vector<std::byte> page(db_.device().page_size());
+  std::uint64_t promo = 0;
+  std::uint64_t rows = 0;
+  for (std::uint64_t p = 0; p < info->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(info->first_lpn + p, 1, page, 0).ok());
+    auto reader = storage::NsmPageReader::Open(&info->schema, page);
+    ASSERT_TRUE(reader.ok());
+    for (std::uint16_t i = 0; i < reader->tuple_count(); ++i, ++rows) {
+      const storage::TupleReader t(&info->schema, reader->tuple(i));
+      if (t.GetChar(kPType).substr(0, 5) == "PROMO") ++promo;
+    }
+  }
+  EXPECT_EQ(rows, 10000u);
+  EXPECT_NEAR(static_cast<double>(promo) / static_cast<double>(rows),
+              1.0 / 6.0, 0.02);
+}
+
+TEST_F(TpchDataTest, GenerationIsDeterministic) {
+  auto a = LoadLineitem(db_, "a", 0.001, storage::PageLayout::kNsm, 42);
+  auto b = LoadLineitem(db_, "b", 0.001, storage::PageLayout::kNsm, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<std::byte> page_a(db_.device().page_size());
+  std::vector<std::byte> page_b(db_.device().page_size());
+  for (std::uint64_t p = 0; p < a->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(a->first_lpn + p, 1, page_a, 0).ok());
+    ASSERT_TRUE(
+        db_.device().ReadPages(b->first_lpn + p, 1, page_b, 0).ok());
+    EXPECT_EQ(page_a, page_b) << "page " << p;
+  }
+}
+
+TEST_F(TpchDataTest, SyntheticSelectivityColumnIsCalibrated) {
+  auto info = LoadSyntheticS(db_, "S", 8, 50000, 100,
+                             storage::PageLayout::kNsm);
+  ASSERT_TRUE(info.ok());
+  const std::int64_t threshold = SelectivityThreshold(0.25);
+  std::vector<std::byte> page(db_.device().page_size());
+  std::uint64_t qualifying = 0;
+  for (std::uint64_t p = 0; p < info->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(info->first_lpn + p, 1, page, 0).ok());
+    auto reader = storage::NsmPageReader::Open(&info->schema, page);
+    ASSERT_TRUE(reader.ok());
+    for (std::uint16_t i = 0; i < reader->tuple_count(); ++i) {
+      const storage::TupleReader t(&info->schema, reader->tuple(i));
+      if (t.GetInt32(2) < threshold) ++qualifying;
+      // FK domain.
+      EXPECT_GE(t.GetInt32(1), 1);
+      EXPECT_LE(t.GetInt32(1), 100);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(qualifying) / 50000.0, 0.25, 0.02);
+}
+
+TEST_F(TpchDataTest, SyntheticRKeysAreDense) {
+  auto info =
+      LoadSyntheticR(db_, "R", 8, 500, storage::PageLayout::kNsm);
+  ASSERT_TRUE(info.ok());
+  std::vector<std::byte> page(db_.device().page_size());
+  std::vector<bool> seen(501, false);
+  for (std::uint64_t p = 0; p < info->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(info->first_lpn + p, 1, page, 0).ok());
+    auto reader = storage::NsmPageReader::Open(&info->schema, page);
+    ASSERT_TRUE(reader.ok());
+    for (std::uint16_t i = 0; i < reader->tuple_count(); ++i) {
+      const storage::TupleReader t(&info->schema, reader->tuple(i));
+      const std::int32_t key = t.GetInt32(0);
+      ASSERT_GE(key, 1);
+      ASSERT_LE(key, 500);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(key)]);
+      seen[static_cast<std::size_t>(key)] = true;
+    }
+  }
+}
+
+// Q6 through the engine must equal a brute-force reference computed
+// straight from the pages.
+TEST_F(TpchDataTest, Q6MatchesBruteForceReference) {
+  auto info = LoadLineitem(db_, "lineitem", 0.002,
+                           storage::PageLayout::kNsm);
+  ASSERT_TRUE(info.ok());
+
+  std::int64_t expected = 0;
+  std::vector<std::byte> page(db_.device().page_size());
+  for (std::uint64_t p = 0; p < info->page_count; ++p) {
+    ASSERT_TRUE(
+        db_.device().ReadPages(info->first_lpn + p, 1, page, 0).ok());
+    auto reader = storage::NsmPageReader::Open(&info->schema, page);
+    ASSERT_TRUE(reader.ok());
+    for (std::uint16_t i = 0; i < reader->tuple_count(); ++i) {
+      const storage::TupleReader t(&info->schema, reader->tuple(i));
+      if (t.GetInt32(kLShipDate) >= DateToDays(1994, 1, 1) &&
+          t.GetInt32(kLShipDate) < DateToDays(1995, 1, 1) &&
+          t.GetInt32(kLDiscount) > 5 && t.GetInt32(kLDiscount) < 7 &&
+          t.GetInt32(kLQuantity) < 24) {
+        expected += t.GetInt64(kLExtendedPrice) * t.GetInt32(kLDiscount);
+      }
+    }
+  }
+
+  db_.ResetForColdRun();
+  engine::QueryExecutor executor(&db_);
+  auto result = executor.Execute(Q6Spec("lineitem"),
+                                 engine::ExecutionTarget::kHost);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->agg_values.size(), 1u);
+  EXPECT_EQ(result->agg_values[0], expected);
+  EXPECT_EQ(Q6Revenue(result->agg_values),
+            static_cast<double>(expected) / 10000.0);
+}
+
+TEST(QuerySpecBuildersTest, SpecsValidate) {
+  engine::Database db(engine::DatabaseOptions::PaperSmartSsd());
+  ASSERT_TRUE(
+      LoadLineitem(db, "lineitem", 0.001, storage::PageLayout::kPax).ok());
+  ASSERT_TRUE(LoadPart(db, "part", 0.001, storage::PageLayout::kPax).ok());
+  ASSERT_TRUE(LoadSyntheticS(db, "S", 64, 100, 10,
+                             storage::PageLayout::kPax)
+                  .ok());
+  ASSERT_TRUE(
+      LoadSyntheticR(db, "R", 64, 10, storage::PageLayout::kPax).ok());
+
+  const auto q6_spec = Q6Spec("lineitem");
+  const auto q14_spec = Q14Spec("lineitem", "part");
+  const auto join_spec = JoinQuerySpec("S", "R", 0.5);
+  const auto scan_agg_spec = ScanQuerySpec("S", 64, 0.5, true);
+  const auto scan_rows_spec = ScanQuerySpec("S", 64, 0.5, false, 3);
+  EXPECT_TRUE(exec::Bind(q6_spec, db.catalog()).ok());
+  EXPECT_TRUE(exec::Bind(q14_spec, db.catalog()).ok());
+  EXPECT_TRUE(exec::Bind(join_spec, db.catalog()).ok());
+  EXPECT_TRUE(exec::Bind(scan_agg_spec, db.catalog()).ok());
+  EXPECT_TRUE(exec::Bind(scan_rows_spec, db.catalog()).ok());
+
+  // Q14's plan probes first (Figure 6).
+  auto q14 = exec::Bind(q14_spec, db.catalog());
+  ASSERT_TRUE(q14.ok());
+  EXPECT_EQ(q14->spec->order, exec::PipelineOrder::kProbeFirst);
+}
+
+}  // namespace
+}  // namespace smartssd::tpch
