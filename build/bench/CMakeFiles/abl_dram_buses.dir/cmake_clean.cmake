@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dram_buses.dir/abl_dram_buses.cc.o"
+  "CMakeFiles/abl_dram_buses.dir/abl_dram_buses.cc.o.d"
+  "abl_dram_buses"
+  "abl_dram_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dram_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_dram_buses.
+# This may be replaced when dependencies are built.

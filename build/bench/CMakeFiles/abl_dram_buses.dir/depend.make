@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_dram_buses.
+# This may be replaced when dependencies are built.

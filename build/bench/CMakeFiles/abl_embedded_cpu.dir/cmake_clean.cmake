@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_embedded_cpu.dir/abl_embedded_cpu.cc.o"
+  "CMakeFiles/abl_embedded_cpu.dir/abl_embedded_cpu.cc.o.d"
+  "abl_embedded_cpu"
+  "abl_embedded_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_embedded_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_ftl_gc.cc" "bench/CMakeFiles/abl_ftl_gc.dir/abl_ftl_gc.cc.o" "gcc" "bench/CMakeFiles/abl_ftl_gc.dir/abl_ftl_gc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/smartssd_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/smartssd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/smartssd_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/smartssd_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/smartssd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/smartssd_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smartssd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/smartssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/smartssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/smartssd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smartssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ftl_gc.dir/abl_ftl_gc.cc.o"
+  "CMakeFiles/abl_ftl_gc.dir/abl_ftl_gc.cc.o.d"
+  "abl_ftl_gc"
+  "abl_ftl_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ftl_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_host_interface.dir/abl_host_interface.cc.o"
+  "CMakeFiles/abl_host_interface.dir/abl_host_interface.cc.o.d"
+  "abl_host_interface"
+  "abl_host_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_host_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

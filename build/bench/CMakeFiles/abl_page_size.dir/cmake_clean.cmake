@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_page_size.dir/abl_page_size.cc.o"
+  "CMakeFiles/abl_page_size.dir/abl_page_size.cc.o.d"
+  "abl_page_size"
+  "abl_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_zonemap.dir/abl_zonemap.cc.o"
+  "CMakeFiles/abl_zonemap.dir/abl_zonemap.cc.o.d"
+  "abl_zonemap"
+  "abl_zonemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_zonemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_q1_groupby.dir/ext_q1_groupby.cc.o"
+  "CMakeFiles/ext_q1_groupby.dir/ext_q1_groupby.cc.o.d"
+  "ext_q1_groupby"
+  "ext_q1_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_q1_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_q1_groupby.
+# This may be replaced when dependencies are built.

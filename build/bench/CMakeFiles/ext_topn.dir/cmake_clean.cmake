@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topn.dir/ext_topn.cc.o"
+  "CMakeFiles/ext_topn.dir/ext_topn.cc.o.d"
+  "ext_topn"
+  "ext_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_q6.dir/fig3_q6.cc.o"
+  "CMakeFiles/fig3_q6.dir/fig3_q6.cc.o.d"
+  "fig3_q6"
+  "fig3_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

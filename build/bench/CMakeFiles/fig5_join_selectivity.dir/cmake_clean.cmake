@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_join_selectivity.dir/fig5_join_selectivity.cc.o"
+  "CMakeFiles/fig5_join_selectivity.dir/fig5_join_selectivity.cc.o.d"
+  "fig5_join_selectivity"
+  "fig5_join_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_join_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_q14.dir/fig7_q14.cc.o"
+  "CMakeFiles/fig7_q14.dir/fig7_q14.cc.o.d"
+  "fig7_q14"
+  "fig7_q14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_q14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s13_aggregation.dir/s13_aggregation.cc.o"
+  "CMakeFiles/s13_aggregation.dir/s13_aggregation.cc.o.d"
+  "s13_aggregation"
+  "s13_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s13_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s13_scan_selectivity.dir/s13_scan_selectivity.cc.o"
+  "CMakeFiles/s13_scan_selectivity.dir/s13_scan_selectivity.cc.o.d"
+  "s13_scan_selectivity"
+  "s13_scan_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s13_scan_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s13_scan_selectivity.
+# This may be replaced when dependencies are built.

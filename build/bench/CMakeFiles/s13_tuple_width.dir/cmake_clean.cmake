@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s13_tuple_width.dir/s13_tuple_width.cc.o"
+  "CMakeFiles/s13_tuple_width.dir/s13_tuple_width.cc.o.d"
+  "s13_tuple_width"
+  "s13_tuple_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s13_tuple_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appliance.dir/appliance.cpp.o"
+  "CMakeFiles/appliance.dir/appliance.cpp.o.d"
+  "appliance"
+  "appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_program.dir/smart_program.cpp.o"
+  "CMakeFiles/smart_program.dir/smart_program.cpp.o.d"
+  "smart_program"
+  "smart_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("flash")
+subdirs("ftl")
+subdirs("ssd")
+subdirs("smart")
+subdirs("storage")
+subdirs("expr")
+subdirs("exec")
+subdirs("engine")
+subdirs("tpch")
+subdirs("energy")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_common.dir/logging.cc.o"
+  "CMakeFiles/smartssd_common.dir/logging.cc.o.d"
+  "CMakeFiles/smartssd_common.dir/random.cc.o"
+  "CMakeFiles/smartssd_common.dir/random.cc.o.d"
+  "CMakeFiles/smartssd_common.dir/status.cc.o"
+  "CMakeFiles/smartssd_common.dir/status.cc.o.d"
+  "libsmartssd_common.a"
+  "libsmartssd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

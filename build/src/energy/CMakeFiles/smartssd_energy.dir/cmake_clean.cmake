@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_energy.dir/energy_model.cc.o"
+  "CMakeFiles/smartssd_energy.dir/energy_model.cc.o.d"
+  "libsmartssd_energy.a"
+  "libsmartssd_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/smartssd_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/smartssd_engine.dir/database.cc.o"
+  "CMakeFiles/smartssd_engine.dir/database.cc.o.d"
+  "CMakeFiles/smartssd_engine.dir/executor.cc.o"
+  "CMakeFiles/smartssd_engine.dir/executor.cc.o.d"
+  "CMakeFiles/smartssd_engine.dir/parallel.cc.o"
+  "CMakeFiles/smartssd_engine.dir/parallel.cc.o.d"
+  "CMakeFiles/smartssd_engine.dir/planner.cc.o"
+  "CMakeFiles/smartssd_engine.dir/planner.cc.o.d"
+  "CMakeFiles/smartssd_engine.dir/update.cc.o"
+  "CMakeFiles/smartssd_engine.dir/update.cc.o.d"
+  "libsmartssd_engine.a"
+  "libsmartssd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

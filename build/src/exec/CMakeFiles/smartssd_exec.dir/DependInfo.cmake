@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cost_model.cc" "src/exec/CMakeFiles/smartssd_exec.dir/cost_model.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/cost_model.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/exec/CMakeFiles/smartssd_exec.dir/hash_table.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/hash_table.cc.o.d"
+  "/root/repo/src/exec/page_processor.cc" "src/exec/CMakeFiles/smartssd_exec.dir/page_processor.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/page_processor.cc.o.d"
+  "/root/repo/src/exec/predicate_range.cc" "src/exec/CMakeFiles/smartssd_exec.dir/predicate_range.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/predicate_range.cc.o.d"
+  "/root/repo/src/exec/pushdown_program.cc" "src/exec/CMakeFiles/smartssd_exec.dir/pushdown_program.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/pushdown_program.cc.o.d"
+  "/root/repo/src/exec/query_spec.cc" "src/exec/CMakeFiles/smartssd_exec.dir/query_spec.cc.o" "gcc" "src/exec/CMakeFiles/smartssd_exec.dir/query_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/smartssd_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smartssd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/smartssd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/smartssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/smartssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/smartssd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smartssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

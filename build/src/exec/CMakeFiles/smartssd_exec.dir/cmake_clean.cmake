@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_exec.dir/cost_model.cc.o"
+  "CMakeFiles/smartssd_exec.dir/cost_model.cc.o.d"
+  "CMakeFiles/smartssd_exec.dir/hash_table.cc.o"
+  "CMakeFiles/smartssd_exec.dir/hash_table.cc.o.d"
+  "CMakeFiles/smartssd_exec.dir/page_processor.cc.o"
+  "CMakeFiles/smartssd_exec.dir/page_processor.cc.o.d"
+  "CMakeFiles/smartssd_exec.dir/predicate_range.cc.o"
+  "CMakeFiles/smartssd_exec.dir/predicate_range.cc.o.d"
+  "CMakeFiles/smartssd_exec.dir/pushdown_program.cc.o"
+  "CMakeFiles/smartssd_exec.dir/pushdown_program.cc.o.d"
+  "CMakeFiles/smartssd_exec.dir/query_spec.cc.o"
+  "CMakeFiles/smartssd_exec.dir/query_spec.cc.o.d"
+  "libsmartssd_exec.a"
+  "libsmartssd_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_expr.dir/expression.cc.o"
+  "CMakeFiles/smartssd_expr.dir/expression.cc.o.d"
+  "libsmartssd_expr.a"
+  "libsmartssd_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_flash.dir/flash_array.cc.o"
+  "CMakeFiles/smartssd_flash.dir/flash_array.cc.o.d"
+  "libsmartssd_flash.a"
+  "libsmartssd_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_ftl.dir/ftl.cc.o"
+  "CMakeFiles/smartssd_ftl.dir/ftl.cc.o.d"
+  "libsmartssd_ftl.a"
+  "libsmartssd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

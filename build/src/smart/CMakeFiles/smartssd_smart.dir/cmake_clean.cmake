@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_smart.dir/runtime.cc.o"
+  "CMakeFiles/smartssd_smart.dir/runtime.cc.o.d"
+  "libsmartssd_smart.a"
+  "libsmartssd_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/hdd_device.cc" "src/ssd/CMakeFiles/smartssd_ssd.dir/hdd_device.cc.o" "gcc" "src/ssd/CMakeFiles/smartssd_ssd.dir/hdd_device.cc.o.d"
+  "/root/repo/src/ssd/interface_trends.cc" "src/ssd/CMakeFiles/smartssd_ssd.dir/interface_trends.cc.o" "gcc" "src/ssd/CMakeFiles/smartssd_ssd.dir/interface_trends.cc.o.d"
+  "/root/repo/src/ssd/ssd_config.cc" "src/ssd/CMakeFiles/smartssd_ssd.dir/ssd_config.cc.o" "gcc" "src/ssd/CMakeFiles/smartssd_ssd.dir/ssd_config.cc.o.d"
+  "/root/repo/src/ssd/ssd_device.cc" "src/ssd/CMakeFiles/smartssd_ssd.dir/ssd_device.cc.o" "gcc" "src/ssd/CMakeFiles/smartssd_ssd.dir/ssd_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/smartssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/smartssd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smartssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

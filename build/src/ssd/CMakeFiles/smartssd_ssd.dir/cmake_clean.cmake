@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_ssd.dir/hdd_device.cc.o"
+  "CMakeFiles/smartssd_ssd.dir/hdd_device.cc.o.d"
+  "CMakeFiles/smartssd_ssd.dir/interface_trends.cc.o"
+  "CMakeFiles/smartssd_ssd.dir/interface_trends.cc.o.d"
+  "CMakeFiles/smartssd_ssd.dir/ssd_config.cc.o"
+  "CMakeFiles/smartssd_ssd.dir/ssd_config.cc.o.d"
+  "CMakeFiles/smartssd_ssd.dir/ssd_device.cc.o"
+  "CMakeFiles/smartssd_ssd.dir/ssd_device.cc.o.d"
+  "libsmartssd_ssd.a"
+  "libsmartssd_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

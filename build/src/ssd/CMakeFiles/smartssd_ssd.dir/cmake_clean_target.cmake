@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartssd_ssd.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/smartssd_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/nsm_page.cc" "src/storage/CMakeFiles/smartssd_storage.dir/nsm_page.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/nsm_page.cc.o.d"
+  "/root/repo/src/storage/pax_page.cc" "src/storage/CMakeFiles/smartssd_storage.dir/pax_page.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/pax_page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/smartssd_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/table_loader.cc" "src/storage/CMakeFiles/smartssd_storage.dir/table_loader.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/table_loader.cc.o.d"
+  "/root/repo/src/storage/zone_map.cc" "src/storage/CMakeFiles/smartssd_storage.dir/zone_map.cc.o" "gcc" "src/storage/CMakeFiles/smartssd_storage.dir/zone_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartssd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/smartssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/smartssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/smartssd_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

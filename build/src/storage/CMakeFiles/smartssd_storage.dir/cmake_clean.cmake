@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_storage.dir/catalog.cc.o"
+  "CMakeFiles/smartssd_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/smartssd_storage.dir/nsm_page.cc.o"
+  "CMakeFiles/smartssd_storage.dir/nsm_page.cc.o.d"
+  "CMakeFiles/smartssd_storage.dir/pax_page.cc.o"
+  "CMakeFiles/smartssd_storage.dir/pax_page.cc.o.d"
+  "CMakeFiles/smartssd_storage.dir/schema.cc.o"
+  "CMakeFiles/smartssd_storage.dir/schema.cc.o.d"
+  "CMakeFiles/smartssd_storage.dir/table_loader.cc.o"
+  "CMakeFiles/smartssd_storage.dir/table_loader.cc.o.d"
+  "CMakeFiles/smartssd_storage.dir/zone_map.cc.o"
+  "CMakeFiles/smartssd_storage.dir/zone_map.cc.o.d"
+  "libsmartssd_storage.a"
+  "libsmartssd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_tpch.dir/queries.cc.o"
+  "CMakeFiles/smartssd_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/smartssd_tpch.dir/synthetic.cc.o"
+  "CMakeFiles/smartssd_tpch.dir/synthetic.cc.o.d"
+  "CMakeFiles/smartssd_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/smartssd_tpch.dir/tpch_gen.cc.o.d"
+  "libsmartssd_tpch.a"
+  "libsmartssd_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

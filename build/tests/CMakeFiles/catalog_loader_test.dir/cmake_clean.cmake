@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_loader_test.dir/catalog_loader_test.cc.o"
+  "CMakeFiles/catalog_loader_test.dir/catalog_loader_test.cc.o.d"
+  "catalog_loader_test"
+  "catalog_loader_test.pdb"
+  "catalog_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_topn_test.dir/groupby_topn_test.cc.o"
+  "CMakeFiles/groupby_topn_test.dir/groupby_topn_test.cc.o.d"
+  "groupby_topn_test"
+  "groupby_topn_test.pdb"
+  "groupby_topn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_topn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_processor_test.dir/page_processor_test.cc.o"
+  "CMakeFiles/page_processor_test.dir/page_processor_test.cc.o.d"
+  "page_processor_test"
+  "page_processor_test.pdb"
+  "page_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushdown_program_test.dir/pushdown_program_test.cc.o"
+  "CMakeFiles/pushdown_program_test.dir/pushdown_program_test.cc.o.d"
+  "pushdown_program_test"
+  "pushdown_program_test.pdb"
+  "pushdown_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushdown_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_runtime_test.dir/smart_runtime_test.cc.o"
+  "CMakeFiles/smart_runtime_test.dir/smart_runtime_test.cc.o.d"
+  "smart_runtime_test"
+  "smart_runtime_test.pdb"
+  "smart_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
