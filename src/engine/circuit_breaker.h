@@ -1,0 +1,81 @@
+#ifndef SMARTSSD_ENGINE_CIRCUIT_BREAKER_H_
+#define SMARTSSD_ENGINE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace smartssd::engine {
+
+struct CircuitBreakerConfig {
+  // Consecutive pushdown failures before the breaker opens and the
+  // planner routes around the device.
+  std::uint32_t failure_threshold = 3;
+  // How long (virtual time) an open breaker keeps the device out of the
+  // plan space before the next query is allowed to probe it again.
+  SimDuration cooldown = 500 * kMillisecond;
+};
+
+// Per-device circuit breaker over the pushdown path. A device that keeps
+// failing sessions (resets, stalls, transfer errors) wastes the whole
+// failed-session latency on every query before the fallback kicks in;
+// after `failure_threshold` consecutive failures the breaker opens and
+// the planner sends queries straight to the host path. Once `cooldown`
+// virtual time has passed, the breaker lets the next pushdown through as
+// a probe (half-open): success closes it, another failure re-opens it
+// for a further cooldown.
+class DeviceCircuitBreaker {
+ public:
+  DeviceCircuitBreaker() = default;
+  explicit DeviceCircuitBreaker(const CircuitBreakerConfig& config)
+      : config_(config) {}
+
+  void RecordFailure(SimTime now) {
+    ++total_failures_;
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= config_.failure_threshold || open_) {
+      if (!open_) ++trips_;
+      open_ = true;
+      retry_after_ = now + config_.cooldown;
+    }
+  }
+
+  void RecordSuccess() {
+    consecutive_failures_ = 0;
+    open_ = false;
+  }
+
+  // True while the planner should route around the device. Past
+  // `retry_after_` this returns false even though the breaker is still
+  // open — that lets exactly the next pushdown probe the device; its
+  // RecordFailure re-opens for another cooldown, its RecordSuccess
+  // closes for good.
+  bool ShouldBypass(SimTime now) const {
+    return open_ && now < retry_after_;
+  }
+
+  bool open() const { return open_; }
+  std::uint32_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  std::uint64_t total_failures() const { return total_failures_; }
+  std::uint64_t trips() const { return trips_; }
+
+  void Reset() {
+    open_ = false;
+    consecutive_failures_ = 0;
+    retry_after_ = 0;
+  }
+
+ private:
+  CircuitBreakerConfig config_;
+  bool open_ = false;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t total_failures_ = 0;
+  std::uint64_t trips_ = 0;
+  SimTime retry_after_ = 0;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_CIRCUIT_BREAKER_H_

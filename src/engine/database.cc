@@ -22,7 +22,8 @@ DatabaseOptions DatabaseOptions::PaperSmartSsd() {
   return options;
 }
 
-Database::Database(const DatabaseOptions& options) : options_(options) {
+Database::Database(const DatabaseOptions& options)
+    : options_(options), breaker_(options.breaker) {
   switch (options.device) {
     case DeviceKind::kHdd: {
       device_ = std::make_unique<ssd::HddDevice>(options.hdd);

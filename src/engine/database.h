@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "engine/buffer_pool.h"
+#include "engine/circuit_breaker.h"
 #include "engine/host_machine.h"
 #include "smart/protocol.h"
 #include "smart/runtime.h"
@@ -40,6 +41,7 @@ struct DatabaseOptions {
   HostConfig host;
   std::uint64_t buffer_pool_pages = 4096;
   smart::PollingPolicy polling;
+  CircuitBreakerConfig breaker;
 
   // The paper's three storage configurations (Section 4.1.2), identical
   // host, differing only in the device behind the HBA.
@@ -66,6 +68,11 @@ class Database {
   const ssd::SsdDevice* ssd() const { return ssd_; }
   smart::SmartSsdRuntime* runtime() { return runtime_.get(); }
   bool smart_capable() const { return runtime_ != nullptr; }
+
+  // Shared across executors and planners: pushdown failures recorded by
+  // any executor steer every later routing decision.
+  DeviceCircuitBreaker& circuit_breaker() { return breaker_; }
+  const DeviceCircuitBreaker& circuit_breaker() const { return breaker_; }
 
   storage::Catalog& catalog() { return *catalog_; }
   const storage::Catalog& catalog() const { return *catalog_; }
@@ -110,6 +117,7 @@ class Database {
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<HostMachine> host_;
+  DeviceCircuitBreaker breaker_;
   std::map<std::string, storage::ZoneMap> zone_maps_;
 };
 

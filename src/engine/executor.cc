@@ -26,6 +26,21 @@ Status DecodeAggValues(const exec::BoundQuery& bound,
   return Status::OK();
 }
 
+// Device failures worth retrying on the host path. Everything else
+// (kFailedPrecondition, kInvalidArgument, ...) is a semantic refusal or
+// an engine bug and must reach the caller.
+bool RetryableDeviceFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCorruption:
+    case StatusCode::kIoError:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(Database* db) : db_(db) {
@@ -38,7 +53,7 @@ Result<QueryResult> QueryExecutor::Execute(const exec::QuerySpec& spec,
   SMARTSSD_ASSIGN_OR_RETURN(const exec::BoundQuery bound,
                             exec::Bind(spec, db_->catalog()));
   if (target == ExecutionTarget::kSmartSsd) {
-    return ExecuteOnDevice(bound, start);
+    return ExecuteDeviceWithFallback(bound, start);
   }
   return ExecuteOnHost(bound, start);
 }
@@ -50,11 +65,36 @@ Result<QueryResult> QueryExecutor::ExecuteAuto(const exec::QuerySpec& spec,
                             exec::Bind(spec, db_->catalog()));
   PushdownPlanner planner(db_);
   SMARTSSD_ASSIGN_OR_RETURN(const PlanDecision decision,
-                            planner.Decide(bound, hints));
+                            planner.Decide(bound, hints, start));
   if (decision.target == ExecutionTarget::kSmartSsd) {
-    return ExecuteOnDevice(bound, start);
+    return ExecuteDeviceWithFallback(bound, start);
   }
   return ExecuteOnHost(bound, start);
+}
+
+Result<QueryResult> QueryExecutor::ExecuteDeviceWithFallback(
+    const exec::BoundQuery& bound, SimTime start) {
+  SimTime failed_at = start;
+  Result<QueryResult> device = ExecuteOnDevice(bound, start, &failed_at);
+  if (device.ok()) {
+    db_->circuit_breaker().RecordSuccess();
+    return device;
+  }
+  if (!RetryableDeviceFailure(device.status())) {
+    return device;
+  }
+  db_->circuit_breaker().RecordFailure(failed_at);
+  // Degraded execution: redo the whole query on the host, starting when
+  // the failed session was torn down, so the timeline stays consistent
+  // and the results stay byte-identical to a clean pushdown.
+  SMARTSSD_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecuteOnHost(bound, std::max(start, failed_at)));
+  result.stats.start = start;  // the query began at the pushdown attempt
+  result.stats.fell_back = true;
+  result.stats.device_attempts = 1;
+  result.stats.fallback_reason = device.status().ToString();
+  return result;
 }
 
 Result<QueryResult> QueryExecutor::ExecuteOnHost(
@@ -183,7 +223,8 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
 }
 
 Result<QueryResult> QueryExecutor::ExecuteOnDevice(
-    const exec::BoundQuery& bound, SimTime start) {
+    const exec::BoundQuery& bound, SimTime start, SimTime* failed_at) {
+  if (failed_at != nullptr) *failed_at = start;
   if (!db_->smart_capable()) {
     return FailedPreconditionError(
         "pushdown requires a Smart SSD device");
@@ -217,7 +258,7 @@ Result<QueryResult> QueryExecutor::ExecuteOnDevice(
   SMARTSSD_ASSIGN_OR_RETURN(
       smart::SessionStats session,
       db_->runtime()->RunSession(program, db_->options().polling, start,
-                                 &result.rows));
+                                 &result.rows, failed_at));
   stats.session = session;
   stats.end = session.close_done;
   stats.embedded_cycles = session.embedded_cycles;

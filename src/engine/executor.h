@@ -35,6 +35,16 @@ struct QueryResult {
 // they must produce identical results — a property the test suite
 // checks — while their timelines differ according to the data path and
 // processor the work actually used.
+//
+// Degraded execution: when a pushdown session dies of a *device* fault
+// (uncorrectable read, reset, rejected OPEN, stalled GETs, transfer
+// error), Execute/ExecuteAuto transparently re-run the query on the
+// host path from the failure's virtual time, producing byte-identical
+// results; stats.fell_back records it, and the database's circuit
+// breaker learns so the planner routes around a persistently failing
+// device. Semantic refusals (e.g. dirty pages — kFailedPrecondition)
+// still propagate: re-running those on the host silently would mask an
+// engine bug the caller asked to see.
 class QueryExecutor {
  public:
   explicit QueryExecutor(Database* db);
@@ -51,10 +61,18 @@ class QueryExecutor {
 
   Result<QueryResult> ExecuteOnHost(const exec::BoundQuery& bound,
                                     SimTime start);
+  // Raw pushdown, no fallback. On failure `failed_at` (if non-null)
+  // receives the virtual time the session was torn down at.
   Result<QueryResult> ExecuteOnDevice(const exec::BoundQuery& bound,
-                                      SimTime start);
+                                      SimTime start,
+                                      SimTime* failed_at = nullptr);
 
  private:
+  // Pushdown with host fallback on retryable device failures; updates
+  // the shared circuit breaker either way.
+  Result<QueryResult> ExecuteDeviceWithFallback(
+      const exec::BoundQuery& bound, SimTime start);
+
   Database* db_;
 };
 

@@ -42,6 +42,16 @@ struct QueryStats {
   exec::OpCounts counts;
   smart::SessionStats session;  // populated on the smart path
 
+  // Degraded execution: set when a pushdown session failed with a
+  // retryable device error and the executor transparently re-ran the
+  // query on the host path. `target` then reports kHost (where the work
+  // actually ran), `start` stays at the original pushdown attempt so
+  // elapsed() includes the wasted device time, and `fallback_reason`
+  // keeps the device error that forced the retreat.
+  bool fell_back = false;
+  std::uint32_t device_attempts = 0;
+  std::string fallback_reason;
+
   double host_ingest_gbps() const {
     const double s = elapsed_seconds();
     if (s <= 0) return 0;

@@ -162,13 +162,20 @@ double PushdownPlanner::EstimateSmartSeconds(const exec::BoundQuery& bound,
 }
 
 Result<PlanDecision> PushdownPlanner::Decide(const exec::BoundQuery& bound,
-                                             const PlanHints& hints) const {
+                                             const PlanHints& hints,
+                                             SimTime now) const {
   PlanDecision decision;
   decision.est_host_seconds = EstimateHostSeconds(bound, hints);
 
   if (!db_->smart_capable()) {
     decision.target = ExecutionTarget::kHost;
     decision.reason = "device has no Smart SSD runtime";
+    return decision;
+  }
+  if (db_->circuit_breaker().ShouldBypass(now)) {
+    decision.target = ExecutionTarget::kHost;
+    decision.reason =
+        "circuit breaker open after repeated device failures";
     return decision;
   }
   decision.est_smart_seconds = EstimateSmartSeconds(bound, hints);

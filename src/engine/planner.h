@@ -38,13 +38,19 @@ struct PlanDecision {
 //   5. otherwise, estimated cost decides: each path is a pipeline whose
 //      elapsed time is the max of its stage times (I/O, CPU, result
 //      transfer).
+//
+// Plus one health rule ahead of all cost reasoning: while the database's
+// circuit breaker is open (repeated pushdown session failures, still in
+// cool-down at virtual time `now`), route to the host without touching
+// the device.
 class PushdownPlanner {
  public:
   explicit PushdownPlanner(Database* db);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PushdownPlanner);
 
   Result<PlanDecision> Decide(const exec::BoundQuery& bound,
-                              const PlanHints& hints) const;
+                              const PlanHints& hints,
+                              SimTime now = 0) const;
 
   // The cost submodel, exposed for tests and ablations: estimated
   // elapsed seconds for each path.

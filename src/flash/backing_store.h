@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "flash/geometry.h"
 
 namespace smartssd::flash {
@@ -32,27 +33,40 @@ class BackingStore {
 
   // Copies `data` into the page. `data` may be shorter than a page; the
   // remainder is zero-filled (matching a partially used final page).
-  void Program(std::uint64_t page_index, std::span<const std::byte> data) {
-    SMARTSSD_CHECK_LE(data.size(), page_size());
+  // These are I/O paths reachable from injected faults and firmware bugs,
+  // so violations surface as Status instead of aborting the process.
+  Status Program(std::uint64_t page_index, std::span<const std::byte> data) {
+    if (data.size() > page_size()) {
+      return InvalidArgumentError("backing store: data larger than a page");
+    }
     auto& slot = pages_[page_index];
-    SMARTSSD_CHECK(slot == nullptr);  // NAND: no program over programmed page
+    if (slot != nullptr) {
+      // NAND rule: a programmed page must be erased before reprogramming.
+      return FailedPreconditionError(
+          "backing store: program over a programmed page");
+    }
     slot = std::make_unique<std::byte[]>(page_size());
     std::copy(data.begin(), data.end(), slot.get());
     std::fill(slot.get() + data.size(), slot.get() + page_size(),
               std::byte{0});
     allocated_bytes_ += page_size();
+    return Status::OK();
   }
 
   // Copies the page contents into `out` (must be >= page_size). An erased
   // page reads as zeros.
-  void Read(std::uint64_t page_index, std::span<std::byte> out) const {
-    SMARTSSD_CHECK_GE(out.size(), page_size());
+  Status Read(std::uint64_t page_index, std::span<std::byte> out) const {
+    if (out.size() < page_size()) {
+      return InvalidArgumentError(
+          "backing store: output buffer smaller than a page");
+    }
     const auto& slot = pages_[page_index];
     if (slot == nullptr) {
       std::fill(out.begin(), out.begin() + page_size(), std::byte{0});
-      return;
+      return Status::OK();
     }
     std::copy(slot.get(), slot.get() + page_size(), out.begin());
+    return Status::OK();
   }
 
   // Zero-copy view of a programmed page, or empty span for an erased one.

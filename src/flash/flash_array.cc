@@ -74,6 +74,23 @@ Result<SimTime> FlashArray::ReadPageTiming(const PageAddress& addr,
   SimTime at_controller = channel.Serve(sensed, page_transfer_time_);
   ++reads_;
 
+  // Injected uncorrectable read: the controller still pays for its full
+  // retry ladder (threshold-adjusted re-senses) before declaring the
+  // page lost, so the failure costs the retry penalty on the clock.
+  if (fault_injector_ != nullptr &&
+      fault_injector_->OnPageRead(sim::FaultKind::kUncorrectableRead,
+                                  at_controller)) {
+    for (std::uint32_t a = 0; a < reliability_.max_read_retries; ++a) {
+      ++read_retries_;
+      sensed = chip.Serve(at_controller,
+                          timings_.read_page + reliability_.retry_penalty);
+      at_controller = channel.Serve(sensed, page_transfer_time_);
+    }
+    ++uncorrectable_reads_;
+    return CorruptionError(
+        "uncorrectable flash read (injected fault, ECC exhausted retries)");
+  }
+
   // ECC: correct raw bit errors, retrying the sense with adjusted
   // thresholds when the error count exceeds the correction strength.
   std::uint32_t errors = SampleBitErrors(0);
@@ -101,7 +118,7 @@ Result<SimTime> FlashArray::ReadPage(const PageAddress& addr, SimTime ready,
                                      std::span<std::byte> out) {
   SMARTSSD_ASSIGN_OR_RETURN(SimTime done, ReadPageTiming(addr, ready));
   if (!out.empty()) {
-    store_.Read(PageIndex(geometry_, addr), out);
+    SMARTSSD_RETURN_IF_ERROR(store_.Read(PageIndex(geometry_, addr), out));
   }
   return done;
 }
@@ -126,7 +143,7 @@ Result<SimTime> FlashArray::ProgramPage(const PageAddress& addr,
   sim::RateServer& channel = *channels_[addr.channel];
   const SimTime at_chip = channel.Serve(ready, page_transfer_time_);
   const SimTime done = chip.Serve(at_chip, timings_.program_page);
-  store_.Program(PageIndex(geometry_, addr), data);
+  SMARTSSD_RETURN_IF_ERROR(store_.Program(PageIndex(geometry_, addr), data));
   ++block.write_pointer;
   ++programs_;
   return done;

@@ -13,6 +13,7 @@
 #include "common/units.h"
 #include "flash/backing_store.h"
 #include "flash/geometry.h"
+#include "sim/fault_injector.h"
 #include "sim/rate_server.h"
 
 namespace smartssd::flash {
@@ -51,6 +52,15 @@ class FlashArray {
   const Timings& timings() const { return timings_; }
   BackingStore& store() { return store_; }
   const BackingStore& store() const { return store_; }
+
+  // Installs a fault injector queried on every page read (charge point
+  // for kUncorrectableRead). The array does not own the injector; pass
+  // nullptr to detach. Injected uncorrectable reads burn the full
+  // read-retry ladder on the virtual clock before failing, like a real
+  // controller exhausting its threshold-adjusted retries.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
 
   // Reads one page: data lands in `out` (if non-empty) and the returned
   // time is when the page is available at the channel controller, ready
@@ -104,6 +114,7 @@ class FlashArray {
   Geometry geometry_;
   Timings timings_;
   Reliability reliability_;
+  sim::FaultInjector* fault_injector_ = nullptr;
   Random error_rng_;
   BackingStore store_;
   std::vector<BlockState> blocks_;

@@ -46,13 +46,17 @@ std::span<const std::byte> Ftl::View(std::uint64_t lpn) const {
   return array_->store().View(l2p_[lpn]);
 }
 
-void Ftl::Invalidate(std::uint64_t ppn) {
-  if (!valid_[ppn]) return;
+Status Ftl::Invalidate(std::uint64_t ppn) {
+  if (!valid_[ppn]) return Status::OK();
   valid_[ppn] = false;
   p2l_[ppn] = kUnmapped;
   const std::uint64_t block = ppn / array_->geometry().pages_per_block;
-  SMARTSSD_CHECK_GT(valid_per_block_[block], 0u);
+  if (valid_per_block_[block] == 0) {
+    return CorruptionError(
+        "ftl: valid-page accounting underflow (map corruption)");
+  }
   --valid_per_block_[block];
+  return Status::OK();
 }
 
 Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
@@ -100,7 +104,11 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
     const std::uint64_t ppn = victim_first_page + p;
     if (!valid_[ppn]) continue;
     const std::uint64_t lpn = p2l_[ppn];
-    SMARTSSD_CHECK_NE(lpn, kUnmapped);
+    if (lpn == kUnmapped) {
+      in_gc_ = false;
+      return CorruptionError(
+          "ftl: p2l map missing an entry for a valid page");
+    }
     const flash::PageAddress src = flash::AddressFromPageIndex(g, ppn);
     SMARTSSD_ASSIGN_OR_RETURN(SimTime read_done,
                               array_->ReadPage(src, now, buffer));
@@ -110,7 +118,7 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
     const flash::PageAddress dst = flash::AddressFromPageIndex(g, dst_ppn);
     SMARTSSD_ASSIGN_OR_RETURN(now,
                               array_->ProgramPage(dst, buffer, gc_delay));
-    Invalidate(ppn);
+    SMARTSSD_RETURN_IF_ERROR(Invalidate(ppn));
     l2p_[lpn] = dst_ppn;
     p2l_[dst_ppn] = lpn;
     valid_[dst_ppn] = true;
@@ -180,7 +188,9 @@ Result<SimTime> Ftl::Write(std::uint64_t lpn,
       flash::AddressFromPageIndex(array_->geometry(), ppn);
   SMARTSSD_ASSIGN_OR_RETURN(const SimTime done,
                             array_->ProgramPage(addr, data, gc_done));
-  if (l2p_[lpn] != kUnmapped) Invalidate(l2p_[lpn]);
+  if (l2p_[lpn] != kUnmapped) {
+    SMARTSSD_RETURN_IF_ERROR(Invalidate(l2p_[lpn]));
+  }
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
   valid_[ppn] = true;
@@ -214,7 +224,7 @@ Result<SimTime> Ftl::Read(std::uint64_t lpn, std::span<std::byte> out,
                 out.begin() + std::min<std::size_t>(out.size(), page_size()),
                 std::byte{0});
     } else {
-      array_->store().Read(l2p_[lpn], out);
+      SMARTSSD_RETURN_IF_ERROR(array_->store().Read(l2p_[lpn], out));
     }
   }
   return done;
@@ -225,7 +235,7 @@ Status Ftl::Trim(std::uint64_t lpn) {
     return OutOfRangeError("ftl trim: lpn beyond logical capacity");
   }
   if (l2p_[lpn] != kUnmapped) {
-    Invalidate(l2p_[lpn]);
+    SMARTSSD_RETURN_IF_ERROR(Invalidate(l2p_[lpn]));
     l2p_[lpn] = kUnmapped;
   }
   return Status::OK();

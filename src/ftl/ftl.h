@@ -102,7 +102,10 @@ class Ftl {
   // index, with `*gc_done` >= ready reflecting any GC delay.
   Result<std::uint64_t> AllocatePage(SimTime ready, SimTime* gc_done);
   Result<SimTime> MaybeCollect(int channel, int chip, SimTime ready);
-  void Invalidate(std::uint64_t ppn);
+  // Marks a physical page stale. Inconsistent validity accounting is
+  // surfaced as CORRUPTION (it means the map and flash disagree), not a
+  // process abort — injected faults must be able to flow past it.
+  Status Invalidate(std::uint64_t ppn);
 
   flash::FlashArray* array_;
   FtlConfig config_;

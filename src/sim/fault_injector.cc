@@ -1,0 +1,100 @@
+#include "sim/fault_injector.h"
+
+namespace smartssd::sim {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUncorrectableRead:
+      return "UNCORRECTABLE_READ";
+    case FaultKind::kDeviceReset:
+      return "DEVICE_RESET";
+    case FaultKind::kOpenRejected:
+      return "OPEN_REJECTED";
+    case FaultKind::kGetStall:
+      return "GET_STALL";
+    case FaultKind::kResultQueueOverflow:
+      return "RESULT_QUEUE_OVERFLOW";
+    case FaultKind::kTransferError:
+      return "TRANSFER_ERROR";
+  }
+  return "?";
+}
+
+void FaultInjector::Load(FaultSchedule schedule) {
+  armed_.clear();
+  for (const FaultSpec& spec : schedule.faults) {
+    if (spec.count == 0) continue;
+    armed_.push_back(Armed{spec, spec.count});
+  }
+  random_.clear();
+  for (const RandomFault& fault : schedule.random) {
+    if (fault.per_page > 0.0) random_.push_back(fault);
+  }
+  rng_ = Random(schedule.seed);
+  pages_ = 0;
+  bytes_ = 0;
+  for (auto& f : fired_) f = 0;
+}
+
+void FaultInjector::Clear() {
+  armed_.clear();
+  random_.clear();
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (const auto f : fired_) total += f;
+  return total;
+}
+
+bool FaultInjector::FireDeterministic(FaultKind kind, SimTime now) {
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->spec.kind != kind) continue;
+    const FaultTrigger& trigger = it->spec.trigger;
+    bool reached = false;
+    switch (trigger.unit) {
+      case TriggerUnit::kPagesRead:
+        reached = pages_ >= trigger.at;
+        break;
+      case TriggerUnit::kBytesTransferred:
+        reached = bytes_ >= trigger.at;
+        break;
+      case TriggerUnit::kSimTime:
+        reached = now >= trigger.at;
+        break;
+    }
+    if (!reached) continue;
+    if (--it->remaining == 0) armed_.erase(it);
+    ++fired_[static_cast<int>(kind)];
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::OnPageRead(FaultKind kind, SimTime now) {
+  if (!armed()) return false;
+  ++pages_;
+  if (FireDeterministic(kind, now)) return true;
+  for (const RandomFault& fault : random_) {
+    if (fault.kind != kind) continue;
+    if (rng_.Bernoulli(fault.per_page)) {
+      ++fired_[static_cast<int>(kind)];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::OnBytes(FaultKind kind, std::uint64_t bytes,
+                            SimTime now) {
+  if (!armed()) return false;
+  bytes_ += bytes;
+  return FireDeterministic(kind, now);
+}
+
+bool FaultInjector::OnEvent(FaultKind kind, SimTime now) {
+  if (!armed()) return false;
+  return FireDeterministic(kind, now);
+}
+
+}  // namespace smartssd::sim

@@ -1,0 +1,129 @@
+#ifndef SMARTSSD_SIM_FAULT_INJECTOR_H_
+#define SMARTSSD_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace smartssd::sim {
+
+// The device failure behaviors the stack knows how to inject and (where
+// the protocol allows) survive. Each kind corresponds to one charge
+// point in the simulator where the failure would physically occur.
+enum class FaultKind {
+  kUncorrectableRead = 0,  // flash: raw errors exceed ECC strength
+  kDeviceReset,            // controller reset; all open sessions die
+  kOpenRejected,           // OPEN denied with RESOURCE_EXHAUSTED
+  kGetStall,               // a GET response never arrives (host times out)
+  kResultQueueOverflow,    // device-side result buffer overflows
+  kTransferError,          // host-interface transfer fails mid-flight
+};
+
+inline constexpr int kNumFaultKinds = 6;
+
+std::string_view FaultKindName(FaultKind kind);
+
+// What advances a fault towards firing. Counter units accumulate across
+// the whole device (pages read off flash, bytes over the host link);
+// kSimTime compares against the virtual time at the charge point.
+enum class TriggerUnit {
+  kPagesRead,
+  kBytesTransferred,
+  kSimTime,
+};
+
+struct FaultTrigger {
+  TriggerUnit unit = TriggerUnit::kPagesRead;
+  // Fires once the counter (or virtual time, in ns) reaches `at`.
+  std::uint64_t at = 0;
+};
+
+// One deterministic fault: fires `count` times once its trigger is
+// reached, then disarms.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kUncorrectableRead;
+  FaultTrigger trigger;
+  std::uint32_t count = 1;
+};
+
+// Probabilistic variant for rate sweeps: every page-read charge point
+// fires `kind` with probability `per_page`, drawn from the injector's
+// seeded RNG — deterministic and replayable for a given schedule.
+struct RandomFault {
+  FaultKind kind = FaultKind::kUncorrectableRead;
+  double per_page = 0.0;
+};
+
+struct FaultSchedule {
+  std::vector<FaultSpec> faults;
+  std::vector<RandomFault> random;
+  std::uint64_t seed = 0xFA17;
+};
+
+// Seeded, virtual-time-driven fault schedule. Modules query it at their
+// charge points: the flash array on every page read, the SSD controller
+// on every host-link transfer, the smart runtime at each protocol step.
+// An injector with nothing loaded never fires and costs one branch per
+// charge point, so production paths are unaffected by default.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0xFA17) {}
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(FaultInjector);
+
+  // Replaces the schedule, re-arms every fault, and resets counters and
+  // the RNG — loading the same schedule twice replays the same faults.
+  void Load(FaultSchedule schedule);
+
+  // Disarms everything (equivalent to loading an empty schedule).
+  void Clear();
+
+  // True if any fault could still fire.
+  bool armed() const { return !armed_.empty() || !random_.empty(); }
+
+  // --- Charge points ---------------------------------------------------
+  // Each returns true when an armed fault of `kind` fires here, consuming
+  // one of its firings.
+
+  // A page read off flash: advances the page counter, then checks
+  // deterministic triggers and the per-page random faults.
+  bool OnPageRead(FaultKind kind, SimTime now);
+
+  // Bytes crossing the host interface: advances the byte counter.
+  bool OnBytes(FaultKind kind, std::uint64_t bytes, SimTime now);
+
+  // A protocol event (OPEN, GET, per-page processing step): checks
+  // triggers against the current counters without advancing them.
+  bool OnEvent(FaultKind kind, SimTime now);
+
+  // --- Introspection ---------------------------------------------------
+  std::uint64_t pages_read() const { return pages_; }
+  std::uint64_t bytes_transferred() const { return bytes_; }
+  std::uint64_t fired(FaultKind kind) const {
+    return fired_[static_cast<int>(kind)];
+  }
+  std::uint64_t total_fired() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint32_t remaining = 0;
+  };
+
+  // Checks deterministic triggers for `kind`; consumes one firing.
+  bool FireDeterministic(FaultKind kind, SimTime now);
+
+  std::vector<Armed> armed_;
+  std::vector<RandomFault> random_;
+  Random rng_;
+  std::uint64_t pages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t fired_[kNumFaultKinds] = {};
+};
+
+}  // namespace smartssd::sim
+
+#endif  // SMARTSSD_SIM_FAULT_INJECTOR_H_

@@ -68,13 +68,42 @@ SmartSsdRuntime::SmartSsdRuntime(ssd::SsdDevice* device) : device_(device) {
 
 Result<SessionStats> SmartSsdRuntime::RunSession(
     InSsdProgram& program, const PollingPolicy& policy, SimTime start,
-    std::vector<std::byte>* host_output) {
+    std::vector<std::byte>* host_output, SimTime* failed_at) {
+  const std::uint64_t dram_free_before = device_->device_dram_free();
+  SimTime fail_time = start;
+  Result<SessionStats> result =
+      RunSessionImpl(program, policy, start, host_output, &fail_time);
+  ++sessions_run_;
+  if (!result.ok()) {
+    ++sessions_failed_;
+    if (failed_at != nullptr) *failed_at = fail_time;
+  }
+  // Session-leak check: every grant the session took — DRAM for hash
+  // tables and buffers, accounted by SessionServices — must be back,
+  // whether the session succeeded or was torn down mid-stream. A leak
+  // here would starve every later pushdown, so it is an engine bug worth
+  // failing loudly (but recoverably) over.
+  if (device_->device_dram_free() != dram_free_before) {
+    return InternalError("smart session leaked device resource grants");
+  }
+  return result;
+}
+
+Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
+    InSsdProgram& program, const PollingPolicy& policy, SimTime start,
+    std::vector<std::byte>* host_output, SimTime* fail_time) {
   SessionStats stats;
   stats.session_id = next_session_id_++;
   stats.open_issued = start;
+  sim::FaultInjector& faults = device_->fault_injector();
 
   // --- OPEN: command round + resource grant + program build phase ---
   SimTime t = device_->HostCommand(start);
+  *fail_time = t;
+  if (faults.OnEvent(sim::FaultKind::kOpenRejected, t)) {
+    return ResourceExhaustedError(
+        "OPEN rejected by the device (injected fault)");
+  }
   SessionServices services(device_);
   const std::uint64_t dram_needed = program.DramBytesRequired();
   if (dram_needed > 0) {
@@ -83,6 +112,7 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
   SMARTSSD_ASSIGN_OR_RETURN(SimTime open_done, program.Open(services, t));
   open_done = std::max(open_done, t);
   stats.open_done = open_done;
+  *fail_time = open_done;
 
   // --- Device-side processing: stream the input extents ---
   ResultQueue queue(device_->page_size());
@@ -99,10 +129,20 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
           const ProgramCharge charge,
           program.ProcessPage(device_->ViewPage(lpn), sink));
       const SimTime done = device_->ExecuteOnDevice(charge.cycles, in_dram);
+      if (faults.OnEvent(sim::FaultKind::kDeviceReset, done)) {
+        *fail_time = done + kDeviceResetRecovery;
+        return AbortedError("device reset mid-session (injected fault)");
+      }
+      if (faults.OnEvent(sim::FaultKind::kResultQueueOverflow, done)) {
+        *fail_time = done;
+        return ResourceExhaustedError(
+            "device result queue overflow (injected fault)");
+      }
       queue.Append(sink.bytes(), done);
       stats.embedded_cycles += charge.cycles;
       ++stats.pages_processed;
       processing_done = std::max(processing_done, done);
+      *fail_time = processing_done;
     }
   }
   sink.Clear();
@@ -114,16 +154,46 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
   queue.Append(sink.bytes(), processing_done);
   queue.Flush(processing_done);
   stats.processing_done = processing_done;
+  *fail_time = processing_done;
 
-  // --- GET polling: the host drains results as they become ready ---
+  // --- GET polling: the host drains results as they become ready,
+  // backing off while the device reports nothing and re-issuing (within
+  // the retry budget) GETs whose responses stall. ---
   SimTime poll_time = open_done;
   SimTime last_transfer = open_done;
+  SimDuration interval = policy.min_poll_interval;
+  std::uint32_t retries_left = policy.session_retry_budget;
   for (;;) {
     poll_time = device_->HostCommand(poll_time);  // the GET itself
     ++stats.gets_issued;
+    *fail_time = poll_time;
+    if (faults.OnEvent(sim::FaultKind::kDeviceReset, poll_time)) {
+      *fail_time = poll_time + kDeviceResetRecovery;
+      return AbortedError("device reset mid-session (injected fault)");
+    }
+    if (faults.OnEvent(sim::FaultKind::kGetStall, poll_time)) {
+      // The response never arrives: the host times out and re-issues,
+      // burning one unit of the session retry budget.
+      if (retries_left == 0) {
+        *fail_time = poll_time + policy.get_timeout;
+        return IoError("GET stalled; session retry budget exhausted");
+      }
+      --retries_left;
+      ++stats.get_retries;
+      poll_time += policy.get_timeout;
+      interval = policy.min_poll_interval;
+      continue;
+    }
     bool transferred = false;
     ResultChunk chunk;
     while (queue.PopReady(poll_time, &chunk)) {
+      if (faults.OnBytes(sim::FaultKind::kTransferError, chunk.data.size(),
+                         poll_time)) {
+        *fail_time = poll_time;
+        return IoError(
+            "result transfer failed on the host interface (injected "
+            "fault)");
+      }
       poll_time = device_->TransferToHost(chunk.data.size(), poll_time);
       if (host_output != nullptr) {
         host_output->insert(host_output->end(), chunk.data.begin(),
@@ -137,8 +207,11 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
       // This GET saw the program finished with nothing left to deliver.
       break;
     }
-    if (!transferred) {
-      poll_time += policy.poll_interval;
+    if (transferred) {
+      interval = policy.min_poll_interval;
+    } else {
+      poll_time += interval;
+      interval = policy.NextInterval(interval);
     }
   }
   stats.last_transfer_done = last_transfer;

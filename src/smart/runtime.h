@@ -24,6 +24,9 @@ struct SessionStats {
   std::uint64_t result_bytes = 0;
   std::uint64_t embedded_cycles = 0;
   std::uint64_t gets_issued = 0;
+  // Stalled GETs the host re-issued (each consumed one unit of the
+  // session retry budget and recovered).
+  std::uint32_t get_retries = 0;
 
   SimDuration elapsed() const { return close_done - open_issued; }
 };
@@ -36,6 +39,16 @@ struct SessionStats {
 // RunSession executes the whole OPEN -> GET* -> CLOSE exchange and
 // returns the timeline. The host result bytes are appended to
 // `host_output` exactly as the GET responses deliver them.
+//
+// Failure semantics: the session protocol survives recoverable faults
+// (stalled GETs within the retry budget) and turns everything else —
+// uncorrectable reads, device resets, rejected OPENs, queue overflows,
+// transfer errors — into a non-OK Status with guaranteed teardown: all
+// thread/DRAM grants are released on every exit path, enforced by a
+// session-leak check against the device's DRAM accounting. On failure
+// `failed_at` (if non-null) receives the virtual time at which the
+// session was torn down, so the caller can resume (e.g. fall back to the
+// host path) on a consistent clock.
 class SmartSsdRuntime {
  public:
   explicit SmartSsdRuntime(ssd::SsdDevice* device);
@@ -44,13 +57,25 @@ class SmartSsdRuntime {
   Result<SessionStats> RunSession(InSsdProgram& program,
                                   const PollingPolicy& policy,
                                   SimTime start,
-                                  std::vector<std::byte>* host_output);
+                                  std::vector<std::byte>* host_output,
+                                  SimTime* failed_at = nullptr);
 
   ssd::SsdDevice& device() { return *device_; }
 
+  std::uint64_t sessions_run() const { return sessions_run_; }
+  std::uint64_t sessions_failed() const { return sessions_failed_; }
+
  private:
+  Result<SessionStats> RunSessionImpl(InSsdProgram& program,
+                                      const PollingPolicy& policy,
+                                      SimTime start,
+                                      std::vector<std::byte>* host_output,
+                                      SimTime* fail_time);
+
   ssd::SsdDevice* device_;
   SessionId next_session_id_ = 1;
+  std::uint64_t sessions_run_ = 0;
+  std::uint64_t sessions_failed_ = 0;
 };
 
 }  // namespace smartssd::smart

@@ -7,6 +7,7 @@ namespace smartssd::ssd {
 SsdDevice::SsdDevice(const SsdConfig& config) : config_(config) {
   array_ = std::make_unique<flash::FlashArray>(
       config.geometry, config.timings, config.reliability);
+  array_->set_fault_injector(&fault_injector_);
   ftl_ = std::make_unique<ftl::Ftl>(array_.get(), config.ftl);
   dma_ = std::make_unique<sim::ParallelServer>("dram_bus",
                                                config.dram.bus_count);
@@ -65,6 +66,10 @@ Result<SimTime> SsdDevice::ReadPages(std::uint64_t lpn, std::uint32_t count,
                                   page_size());
     SMARTSSD_ASSIGN_OR_RETURN(const SimTime in_dram,
                               InternalReadPage(lpn + i, page_out, t));
+    if (fault_injector_.OnBytes(sim::FaultKind::kTransferError, page_size(),
+                                in_dram)) {
+      return IoError("host interface transfer error (injected fault)");
+    }
     last = host_link_->Serve(in_dram, link_page_time);
   }
   return last;
@@ -82,6 +87,10 @@ Result<SimTime> SsdDevice::WritePages(std::uint64_t lpn, std::uint32_t count,
       page_size(), EffectiveBytesPerSecond(config_.host_interface.standard));
   SimTime last = t;
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (fault_injector_.OnBytes(sim::FaultKind::kTransferError, page_size(),
+                                t)) {
+      return IoError("host interface transfer error (injected fault)");
+    }
     const SimTime at_device = host_link_->Serve(t, link_page_time);
     const SimTime in_dram = dma_->Serve(at_device, dma_page_time_);
     SMARTSSD_ASSIGN_OR_RETURN(

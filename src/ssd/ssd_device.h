@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "flash/flash_array.h"
 #include "ftl/ftl.h"
+#include "sim/fault_injector.h"
 #include "sim/rate_server.h"
 #include "ssd/block_device.h"
 #include "ssd/ssd_config.h"
@@ -91,6 +92,14 @@ class SsdDevice : public BlockDevice {
   flash::FlashArray& flash_array() { return *array_; }
   ftl::Ftl& ftl() { return *ftl_; }
 
+  // The device-wide fault injector, shared with the flash array and the
+  // smart runtime. Load a schedule to make the device misbehave
+  // deterministically; an empty injector never fires.
+  sim::FaultInjector& fault_injector() { return fault_injector_; }
+  const sim::FaultInjector& fault_injector() const {
+    return fault_injector_;
+  }
+
   SimDuration dma_busy() const { return dma_->busy_time(); }
   SimDuration host_link_busy() const { return host_link_->busy_time(); }
   SimDuration embedded_cpu_busy() const { return embedded_->busy_time(); }
@@ -108,6 +117,7 @@ class SsdDevice : public BlockDevice {
  private:
   SsdConfig config_;
   std::string name_ = "ssd";
+  sim::FaultInjector fault_injector_;
   std::unique_ptr<flash::FlashArray> array_;
   std::unique_ptr<ftl::Ftl> ftl_;
   std::unique_ptr<sim::ParallelServer> dma_;        // DRAM bus(es)
