@@ -68,7 +68,8 @@ RateOutcome Sweep(engine::Database& db, const exec::QuerySpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter reporter("abl_fault_degradation", argc, argv);
   bench::PrintHeader(
       "Ablation: Q6 under injected uncorrectable-read faults "
       "(pushdown with host fallback)",
@@ -98,6 +99,13 @@ int main() {
     std::printf("%-12.0e %7d %9d %7d %13.4f %9.2fx\n", rate,
                 outcome.clean, outcome.fallback, outcome.failed, mean,
                 mean > 0 ? mean / clean_seconds : 0.0);
+    // Ratio is mean-latency overhead over the fault-free sweep; the
+    // paper discusses degraded execution qualitatively, so there is no
+    // paper number to compare against (null in the JSON).
+    char config[32];
+    std::snprintf(config, sizeof(config), "rate=%.0e", rate);
+    reporter.Add(config, mean, NAN,
+                 mean > 0 ? mean / clean_seconds : NAN);
   }
   bench::PrintRule();
   std::printf(
@@ -111,5 +119,6 @@ int main() {
                   db.circuit_breaker().total_failures()),
               static_cast<unsigned long long>(
                   db.circuit_breaker().trips()));
+  reporter.Write();
   return 0;
 }

@@ -8,9 +8,12 @@
 // time scales linearly with data volume, so ratios are scale-invariant
 // and an SF-100 projection is printed alongside.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 
@@ -47,6 +50,83 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
 inline void PrintRule() {
   std::printf("--------------------------------------------------------------\n");
 }
+
+// Machine-readable bench output, enabled by a `--json=<path>` argument.
+// Write() emits a JSON array with one object per measured configuration:
+//   {"bench": ..., "config": ..., "virtual_seconds": ...,
+//    "paper_ratio": ..., "measured_ratio": ...}
+// so successive runs can append to the repo's perf trajectory. Ratios
+// are each bench's headline comparison (e.g. speedup over the baseline
+// configuration); pass NAN where the paper gives no number — it is
+// serialized as null. Without `--json=...` the reporter is inert, so the
+// human-readable tables are unchanged.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_id, int argc, char** argv)
+      : bench_id_(std::move(bench_id)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      constexpr std::string_view kFlag = "--json=";
+      if (arg.substr(0, kFlag.size()) == kFlag) {
+        path_ = std::string(arg.substr(kFlag.size()));
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(std::string_view config, double virtual_seconds,
+           double paper_ratio, double measured_ratio) {
+    if (!enabled()) return;
+    rows_.push_back(Row{std::string(config), virtual_seconds, paper_ratio,
+                        measured_ratio});
+  }
+
+  void Write() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f,
+                   "{\"bench\":\"%s\",\"config\":\"%s\","
+                   "\"virtual_seconds\":%.9g,\"paper_ratio\":",
+                   bench_id_.c_str(), row.config.c_str(),
+                   row.virtual_seconds);
+      WriteRatio(f, row.paper_ratio);
+      std::fprintf(f, ",\"measured_ratio\":");
+      WriteRatio(f, row.measured_ratio);
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu json rows to %s\n", rows_.size(), path_.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string config;
+    double virtual_seconds;
+    double paper_ratio;
+    double measured_ratio;
+  };
+
+  static void WriteRatio(std::FILE* f, double v) {
+    if (std::isnan(v)) {
+      std::fprintf(f, "null");
+    } else {
+      std::fprintf(f, "%.9g", v);
+    }
+  }
+
+  std::string bench_id_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace smartssd::bench
 

@@ -68,6 +68,7 @@ Result<std::size_t> BufferPool::Evict(SimTime ready, SimTime* io_done) {
     }
     map_.erase(frame.lpn);
     frame.valid = false;
+    obs::BumpCounter(m_evictions_);
     return index;
   }
   return InternalError("buffer pool eviction failed to find a victim");
@@ -110,12 +111,14 @@ Result<std::pair<std::span<const std::byte>, SimTime>> BufferPool::GetPage(
   auto it = map_.find(lpn);
   if (it != map_.end()) {
     ++hits_;
+    obs::BumpCounter(m_hits_);
     Frame& frame = frames_[it->second];
     frame.referenced = true;
     return std::make_pair(std::span<const std::byte>(frame.data),
                           std::max(ready, frame.available_at));
   }
   ++misses_;
+  obs::BumpCounter(m_misses_);
   if (limit_lpn <= lpn) limit_lpn = lpn + 1;
   const std::uint32_t count = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(kReadAheadPages, limit_lpn - lpn));
@@ -165,6 +168,18 @@ void BufferPool::Clear() {
   }
   map_.clear();
   clock_hand_ = 0;
+}
+
+void BufferPool::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_hits_ = nullptr;
+    m_misses_ = nullptr;
+    m_evictions_ = nullptr;
+    return;
+  }
+  m_hits_ = metrics->counter("bufferpool.hits");
+  m_misses_ = metrics->counter("bufferpool.misses");
+  m_evictions_ = metrics->counter("bufferpool.evictions");
 }
 
 }  // namespace smartssd::engine

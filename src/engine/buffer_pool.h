@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "ssd/block_device.h"
 
 namespace smartssd::engine {
@@ -57,6 +58,9 @@ class BufferPool {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  // Registers hit/miss/eviction counters. nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Frame {
     std::uint64_t lpn = 0;
@@ -82,6 +86,9 @@ class BufferPool {
   std::vector<std::byte> io_buffer_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace smartssd::engine

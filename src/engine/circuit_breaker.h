@@ -2,8 +2,11 @@
 #define SMARTSSD_ENGINE_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace smartssd::engine {
 
@@ -30,19 +33,44 @@ class DeviceCircuitBreaker {
   explicit DeviceCircuitBreaker(const CircuitBreakerConfig& config)
       : config_(config) {}
 
-  void RecordFailure(SimTime now) {
+  // `reason` is the stable failure token (see FallbackReasonToken);
+  // it is kept for introspection and attached to the trace instants.
+  void RecordFailure(SimTime now, std::string_view reason = {}) {
     ++total_failures_;
     ++consecutive_failures_;
+    last_failure_reason_ = std::string(reason);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(track_, "pushdown failure", "breaker", now,
+                       {obs::Arg::Str("reason", reason),
+                        obs::Arg::Uint("consecutive",
+                                       consecutive_failures_)});
+    }
     if (consecutive_failures_ >= config_.failure_threshold || open_) {
       if (!open_) ++trips_;
       open_ = true;
       retry_after_ = now + config_.cooldown;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(track_, "breaker open", "breaker", now,
+                         {obs::Arg::Uint("retry_after", retry_after_)});
+      }
     }
   }
 
-  void RecordSuccess() {
+  void RecordSuccess(SimTime now = 0) {
+    if (tracer_ != nullptr && open_) {
+      tracer_->Instant(track_, "breaker close", "breaker", now);
+    }
     consecutive_failures_ = 0;
     open_ = false;
+  }
+
+  // Records state transitions as instants on a "breaker" lane under
+  // `process`. nullptr detaches.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      track_ = tracer_->RegisterTrack(process, "breaker");
+    }
   }
 
   // True while the planner should route around the device. Past
@@ -60,6 +88,9 @@ class DeviceCircuitBreaker {
   }
   std::uint64_t total_failures() const { return total_failures_; }
   std::uint64_t trips() const { return trips_; }
+  const std::string& last_failure_reason() const {
+    return last_failure_reason_;
+  }
 
   void Reset() {
     open_ = false;
@@ -74,6 +105,9 @@ class DeviceCircuitBreaker {
   std::uint64_t total_failures_ = 0;
   std::uint64_t trips_ = 0;
   SimTime retry_after_ = 0;
+  std::string last_failure_reason_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace smartssd::engine

@@ -44,6 +44,36 @@ Database::Database(const DatabaseOptions& options)
   pool_ = std::make_unique<BufferPool>(device_.get(),
                                        options.buffer_pool_pages);
   host_ = std::make_unique<HostMachine>(options.host);
+  // Instruments are always on (lock-free bumps, no virtual-time reads);
+  // tracing stays opt-in via AttachTracer.
+  if (ssd_ != nullptr) ssd_->AttachMetrics(&metrics_);
+  pool_->AttachMetrics(&metrics_);
+}
+
+void Database::AttachTracer(obs::Tracer* tracer,
+                            std::string_view device_process,
+                            std::string_view host_process) {
+  tracer_ = tracer;
+  if (ssd_ != nullptr) ssd_->AttachTracer(tracer, device_process);
+  host_->AttachTracer(tracer, host_process);
+  breaker_.AttachTracer(tracer, host_process);
+  if (runtime_ != nullptr) runtime_->AttachTracer(tracer, host_process);
+  if (tracer != nullptr) {
+    executor_track_ = tracer->RegisterTrack(host_process, "executor");
+  }
+}
+
+StageBreakdown Database::StageSnapshot() const {
+  StageBreakdown s;
+  if (ssd_ != nullptr) {
+    s.flash_chip = ssd_->flash_array().total_chip_busy();
+    s.flash_channel = ssd_->flash_array().total_channel_busy();
+    s.dram_bus = ssd_->dma_busy();
+    s.host_link = ssd_->host_link_busy();
+    s.embedded_cpu = ssd_->embedded_cpu_busy();
+  }
+  s.host_cpu = host_->cpu_busy();
+  return s;
 }
 
 Result<storage::TableInfo> Database::LoadTable(

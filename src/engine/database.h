@@ -10,6 +10,9 @@
 #include "engine/buffer_pool.h"
 #include "engine/circuit_breaker.h"
 #include "engine/host_machine.h"
+#include "engine/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smart/protocol.h"
 #include "smart/runtime.h"
 #include "ssd/hdd_device.h"
@@ -109,8 +112,36 @@ class Database {
   // Internal bandwidth (smart path); 0 for non-smart devices.
   std::uint64_t EstimatedInternalReadBytesPerSecond() const;
 
+  // --- Observability ---------------------------------------------------
+
+  // Wires `tracer` through every layer: device resources and FTL/faults
+  // under `device_process`, host cores / executor / session protocol /
+  // breaker under `host_process`. Distinct process names let two
+  // databases (e.g. the SSD and Smart SSD configurations) share one
+  // tracer and appear as separate process groups in the exported trace.
+  // Attach after loading tables so bulk-load I/O does not flood the
+  // trace; nullptr detaches everything.
+  void AttachTracer(obs::Tracer* tracer,
+                    std::string_view device_process = "device",
+                    std::string_view host_process = "host");
+  obs::Tracer* tracer() const { return tracer_; }
+  // The host-side "executor" lane query/phase spans land on.
+  obs::TrackId executor_track() const { return executor_track_; }
+
+  // Always-on instrument registry for this database (flash, FTL, buffer
+  // pool, executor instruments register here at construction).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Current accumulated busy time of every pipeline stage. The executor
+  // diffs two snapshots to fill QueryStats::stage.
+  StageBreakdown StageSnapshot() const;
+
  private:
   DatabaseOptions options_;
+  // Declared before the layers that hold instrument pointers into it,
+  // so it is destroyed after them.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<ssd::BlockDevice> device_;
   ssd::SsdDevice* ssd_ = nullptr;  // borrowed view of device_
   std::unique_ptr<smart::SmartSsdRuntime> runtime_;
@@ -119,6 +150,8 @@ class Database {
   std::unique_ptr<HostMachine> host_;
   DeviceCircuitBreaker breaker_;
   std::map<std::string, storage::ZoneMap> zone_maps_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId executor_track_ = 0;
 };
 
 }  // namespace smartssd::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "engine/fallback_reason.h"
 #include "exec/predicate_range.h"
 #include "exec/pushdown_program.h"
 
@@ -24,21 +25,6 @@ Status DecodeAggValues(const exec::BoundQuery& bound,
   out->resize(n);
   std::memcpy(out->data(), rows.data(), rows.size());
   return Status::OK();
-}
-
-// Device failures worth retrying on the host path. Everything else
-// (kFailedPrecondition, kInvalidArgument, ...) is a semantic refusal or
-// an engine bug and must reach the caller.
-bool RetryableDeviceFailure(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kCorruption:
-    case StatusCode::kIoError:
-    case StatusCode::kAborted:
-    case StatusCode::kResourceExhausted:
-      return true;
-    default:
-      return false;
-  }
 }
 
 }  // namespace
@@ -74,16 +60,26 @@ Result<QueryResult> QueryExecutor::ExecuteAuto(const exec::QuerySpec& spec,
 
 Result<QueryResult> QueryExecutor::ExecuteDeviceWithFallback(
     const exec::BoundQuery& bound, SimTime start) {
+  const StageBreakdown stage_before = db_->StageSnapshot();
   SimTime failed_at = start;
   Result<QueryResult> device = ExecuteOnDevice(bound, start, &failed_at);
   if (device.ok()) {
-    db_->circuit_breaker().RecordSuccess();
+    db_->circuit_breaker().RecordSuccess(device.value().stats.end);
     return device;
   }
   if (!RetryableDeviceFailure(device.status())) {
     return device;
   }
-  db_->circuit_breaker().RecordFailure(failed_at);
+  db_->circuit_breaker().RecordFailure(
+      failed_at, FallbackReasonToken(device.status()));
+  obs::Tracer* tracer = db_->tracer();
+  if (tracer != nullptr) {
+    tracer->Instant(
+        db_->executor_track(), "fallback to host", "query", failed_at,
+        {obs::Arg::Str("reason", FallbackReasonToken(device.status())),
+         obs::Arg::Str("error", device.status().message())});
+  }
+  db_->metrics().counter("engine.fallbacks")->Add();
   // Degraded execution: redo the whole query on the host, starting when
   // the failed session was torn down, so the timeline stays consistent
   // and the results stay byte-identical to a clean pushdown.
@@ -93,7 +89,10 @@ Result<QueryResult> QueryExecutor::ExecuteDeviceWithFallback(
   result.stats.start = start;  // the query began at the pushdown attempt
   result.stats.fell_back = true;
   result.stats.device_attempts = 1;
-  result.stats.fallback_reason = device.status().ToString();
+  result.stats.fallback_reason = FallbackReasonString(device.status());
+  // The breakdown must cover the wasted device attempt too, not just the
+  // host re-run.
+  result.stats.stage = db_->StageSnapshot() - stage_before;
   return result;
 }
 
@@ -111,6 +110,12 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
   stats.target = ExecutionTarget::kHost;
   stats.layout = bound.outer->layout;
   stats.start = start;
+
+  const StageBreakdown stage_before = db_->StageSnapshot();
+  obs::Tracer* tracer = db_->tracer();
+  // RAII: error returns close the span at the tracer's high-water mark.
+  obs::ScopedSpan query_span(tracer, db_->executor_track(),
+                             bound.spec->name, "query", start);
 
   BufferPool& pool = db_->buffer_pool();
   HostMachine& host = db_->host();
@@ -140,12 +145,16 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
     const std::uint64_t cycles =
         exec::Cycles(build_counts, exec::HostCostParams(inner.layout),
                      inner.schema.num_columns(), 0);
-    end = host.Execute(cycles, io_done);
+    end = host.Execute(cycles, io_done, "hash build");
     stats.counts += build_counts;
     stats.host_cycles += cycles;
     stats.pages_read += inner.page_count;
     stats.bytes_over_host_link +=
         inner.page_count * static_cast<std::uint64_t>(page_size);
+    if (tracer != nullptr) {
+      tracer->Complete(db_->executor_track(), "build", "phase", start, end,
+                       {obs::Arg::Uint("pages", inner.page_count)});
+    }
   }
 
   exec::PageProcessor processor(
@@ -170,10 +179,12 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
     }
     if (!prune_ranges.empty()) {
       // Checking the (host-cached) statistics costs a few cycles/page.
-      end = std::max(end, host.Execute(outer.page_count * 2, start));
+      end = std::max(end,
+                     host.Execute(outer.page_count * 2, start, "zone check"));
     }
   }
 
+  const SimTime scan_started = end;
   std::uint64_t pages_scanned = 0;
   for (std::uint64_t p = 0; p < outer.page_count; ++p) {
     bool may_match = true;
@@ -197,26 +208,45 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
     const std::uint64_t cycles =
         exec::Cycles(page_counts, host_params,
                      outer.schema.num_columns(), hash_entries);
-    end = std::max(end, host.Execute(cycles, page_and_time.second));
+    end = std::max(end,
+                   host.Execute(cycles, page_and_time.second, "scan batch"));
     stats.counts += page_counts;
     stats.host_cycles += cycles;
   }
   stats.pages_read += pages_scanned;
   stats.bytes_over_host_link +=
       pages_scanned * static_cast<std::uint64_t>(page_size);
+  if (tracer != nullptr) {
+    tracer->Complete(db_->executor_track(), "scan", "phase", scan_started,
+                     end,
+                     {obs::Arg::Uint("pages_scanned", pages_scanned),
+                      obs::Arg::Uint("pages_skipped", stats.pages_skipped)});
+  }
 
+  const SimTime finish_started = end;
   exec::OpCounts final_counts;
   SMARTSSD_RETURN_IF_ERROR(processor.Finish(&final_counts, &result.rows));
   const std::uint64_t final_cycles =
       exec::Cycles(final_counts, host_params, outer.schema.num_columns(),
                    hash_entries);
-  end = host.Execute(final_cycles, end);
+  end = host.Execute(final_cycles, end, "finalize");
   stats.counts += final_counts;
   stats.host_cycles += final_cycles;
+  if (tracer != nullptr) {
+    tracer->Complete(db_->executor_track(), "finish", "phase",
+                     finish_started, end);
+  }
 
   stats.end = end;
   stats.output_rows = result.row_count();
   stats.output_bytes = result.rows.size();
+  stats.stage = db_->StageSnapshot() - stage_before;
+  db_->metrics().counter("engine.queries")->Add();
+  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (tracer != nullptr) {
+    query_span.End(end, {obs::Arg::Str("target", "host"),
+                         obs::Arg::Uint("rows", stats.output_rows)});
+  }
   SMARTSSD_RETURN_IF_ERROR(
       DecodeAggValues(bound, result.rows, &result.agg_values));
   return result;
@@ -254,6 +284,11 @@ Result<QueryResult> QueryExecutor::ExecuteOnDevice(
   stats.layout = bound.outer->layout;
   stats.start = start;
 
+  const StageBreakdown stage_before = db_->StageSnapshot();
+  obs::Tracer* tracer = db_->tracer();
+  obs::ScopedSpan query_span(tracer, db_->executor_track(),
+                             bound.spec->name, "query", start);
+
   exec::PushdownProgram program(&bound, db_->zone_map(bound.spec->table));
   SMARTSSD_ASSIGN_OR_RETURN(
       smart::SessionStats session,
@@ -271,6 +306,13 @@ Result<QueryResult> QueryExecutor::ExecuteOnDevice(
       session.result_bytes + (session.gets_issued + 2) * 64;
   stats.output_rows = result.row_count();
   stats.output_bytes = result.rows.size();
+  stats.stage = db_->StageSnapshot() - stage_before;
+  db_->metrics().counter("engine.queries")->Add();
+  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (tracer != nullptr) {
+    query_span.End(stats.end, {obs::Arg::Str("target", "smart-ssd"),
+                               obs::Arg::Uint("rows", stats.output_rows)});
+  }
   SMARTSSD_RETURN_IF_ERROR(
       DecodeAggValues(bound, result.rows, &result.agg_values));
   return result;

@@ -1,0 +1,25 @@
+#include "engine/fallback_reason.h"
+
+namespace smartssd::engine {
+
+bool RetryableDeviceFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCorruption:
+    case StatusCode::kIoError:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FallbackReasonString(const Status& status) {
+  return status.ToString();
+}
+
+std::string_view FallbackReasonToken(const Status& status) {
+  return StatusCodeToString(status.code());
+}
+
+}  // namespace smartssd::engine

@@ -1,0 +1,31 @@
+#ifndef SMARTSSD_ENGINE_FALLBACK_REASON_H_
+#define SMARTSSD_ENGINE_FALLBACK_REASON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace smartssd::engine {
+
+// The one place that interprets a failed pushdown's Status for every
+// consumer — QueryStats::fallback_reason, the circuit breaker, and trace
+// events — so the reason strings stay identical across layers.
+
+// Device failures worth re-running on the host path. Everything else
+// (kFailedPrecondition, kInvalidArgument, ...) is a semantic refusal or
+// an engine bug and must reach the caller.
+bool RetryableDeviceFailure(const Status& status);
+
+// Human-readable reason recorded in QueryStats::fallback_reason:
+// "CODE: message" (Status::ToString), e.g.
+// "ABORTED: device reset mid-session (injected fault)".
+std::string FallbackReasonString(const Status& status);
+
+// Stable short token — just the status code name, e.g. "ABORTED" — for
+// trace-event args and other machine consumers.
+std::string_view FallbackReasonToken(const Status& status);
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_FALLBACK_REASON_H_

@@ -33,8 +33,15 @@ class HostMachine {
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(HostMachine);
 
   // Runs one task of `cycles` on the least-loaded core.
-  SimTime Execute(std::uint64_t cycles, SimTime ready) {
-    return cpu_->Serve(ready, CyclesToTime(cycles, config_.clock_hz));
+  SimTime Execute(std::uint64_t cycles, SimTime ready,
+                  const char* label = nullptr) {
+    return cpu_->Serve(ready, CyclesToTime(cycles, config_.clock_hz),
+                       label);
+  }
+
+  // Puts each host core on its own trace lane under `process`.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process) {
+    cpu_->AttachTracer(tracer, process, "host core");
   }
 
   const HostConfig& config() const { return config_; }

@@ -17,6 +17,32 @@ inline const char* ExecutionTargetName(ExecutionTarget target) {
   return target == ExecutionTarget::kHost ? "host" : "smart-ssd";
 }
 
+// Per-stage virtual busy time attributable to one query: the delta of
+// every pipeline resource's accumulated busy time over the query's
+// lifetime (the same occupancy the tracer records as spans, summed).
+// This is the paper's bottleneck evidence in numeric form — on a cold
+// run, the stage whose busy time approaches elapsed() is the stage that
+// paces the configuration.
+struct StageBreakdown {
+  SimDuration flash_chip = 0;     // NAND sense (tR) across all chips
+  SimDuration flash_channel = 0;  // channel bus + ECC across all channels
+  SimDuration dram_bus = 0;       // device DRAM/DMA bus
+  SimDuration host_link = 0;      // SATA/SAS link
+  SimDuration embedded_cpu = 0;   // ARM-class cores (FTL + pushdown work)
+  SimDuration host_cpu = 0;       // Xeon cores
+
+  StageBreakdown operator-(const StageBreakdown& other) const {
+    StageBreakdown d;
+    d.flash_chip = flash_chip - other.flash_chip;
+    d.flash_channel = flash_channel - other.flash_channel;
+    d.dram_bus = dram_bus - other.dram_bus;
+    d.host_link = host_link - other.host_link;
+    d.embedded_cpu = embedded_cpu - other.embedded_cpu;
+    d.host_cpu = host_cpu - other.host_cpu;
+    return d;
+  }
+};
+
 // Everything measured about one query execution, on the virtual clock.
 struct QueryStats {
   std::string query_name;
@@ -51,6 +77,10 @@ struct QueryStats {
   bool fell_back = false;
   std::uint32_t device_attempts = 0;
   std::string fallback_reason;
+
+  // Busy-time deltas per pipeline stage (device stages stay zero on the
+  // HDD configuration and on warm runs served from the buffer pool).
+  StageBreakdown stage;
 
   double host_ingest_gbps() const {
     const double s = elapsed_seconds();

@@ -30,6 +30,30 @@ FlashArray::FlashArray(const Geometry& geometry, const Timings& timings,
   page_transfer_time_ = std::max(bus, timings.ecc_per_page);
 }
 
+void FlashArray::AttachTracer(obs::Tracer* tracer,
+                              std::string_view process) {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->AttachTracer(tracer, process,
+                               "flash chan " + std::to_string(i));
+  }
+}
+
+void FlashArray::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_reads_ = nullptr;
+    m_corrected_ = nullptr;
+    m_retries_ = nullptr;
+    m_uncorrectable_ = nullptr;
+    m_read_latency_ = nullptr;
+    return;
+  }
+  m_reads_ = metrics->counter("flash.page_reads");
+  m_corrected_ = metrics->counter("flash.ecc_corrected");
+  m_retries_ = metrics->counter("flash.ecc_retries");
+  m_uncorrectable_ = metrics->counter("flash.uncorrectable_reads");
+  m_read_latency_ = metrics->histogram("flash.page_read_ns");
+}
+
 Status FlashArray::CheckAddress(const PageAddress& addr) const {
   if (!InBounds(geometry_, addr)) {
     return OutOfRangeError("flash page address out of bounds");
@@ -70,9 +94,12 @@ Result<SimTime> FlashArray::ReadPageTiming(const PageAddress& addr,
   SMARTSSD_RETURN_IF_ERROR(CheckAddress(addr));
   sim::RateServer& chip = *chips_[ChipIndex(geometry_, addr)];
   sim::RateServer& channel = *channels_[addr.channel];
+  obs::Tracer* tracer = channel.tracer();
   SimTime sensed = chip.Serve(ready, timings_.read_page);
-  SimTime at_controller = channel.Serve(sensed, page_transfer_time_);
+  SimTime at_controller =
+      channel.Serve(sensed, page_transfer_time_, "page read");
   ++reads_;
+  obs::BumpCounter(m_reads_);
 
   // Injected uncorrectable read: the controller still pays for its full
   // retry ladder (threshold-adjusted re-senses) before declaring the
@@ -82,11 +109,18 @@ Result<SimTime> FlashArray::ReadPageTiming(const PageAddress& addr,
                                   at_controller)) {
     for (std::uint32_t a = 0; a < reliability_.max_read_retries; ++a) {
       ++read_retries_;
+      obs::BumpCounter(m_retries_);
       sensed = chip.Serve(at_controller,
                           timings_.read_page + reliability_.retry_penalty);
-      at_controller = channel.Serve(sensed, page_transfer_time_);
+      at_controller =
+          channel.Serve(sensed, page_transfer_time_, "ecc retry");
     }
     ++uncorrectable_reads_;
+    obs::BumpCounter(m_uncorrectable_);
+    if (tracer != nullptr) {
+      tracer->Instant(channel.track(), "uncorrectable page", "flash",
+                      at_controller);
+    }
     return CorruptionError(
         "uncorrectable flash read (injected fault, ECC exhausted retries)");
   }
@@ -96,21 +130,29 @@ Result<SimTime> FlashArray::ReadPageTiming(const PageAddress& addr,
   std::uint32_t errors = SampleBitErrors(0);
   if (errors > 0 && errors <= reliability_.ecc_correctable_bits) {
     ++reads_corrected_;
+    obs::BumpCounter(m_corrected_);
   }
   std::uint32_t attempt = 0;
   while (errors > reliability_.ecc_correctable_bits) {
     if (attempt >= reliability_.max_read_retries) {
       ++uncorrectable_reads_;
+      obs::BumpCounter(m_uncorrectable_);
+      if (tracer != nullptr) {
+        tracer->Instant(channel.track(), "uncorrectable page", "flash",
+                        at_controller);
+      }
       return CorruptionError(
           "uncorrectable flash read (ECC exhausted retries)");
     }
     ++attempt;
     ++read_retries_;
+    obs::BumpCounter(m_retries_);
     sensed = chip.Serve(at_controller,
                         timings_.read_page + reliability_.retry_penalty);
-    at_controller = channel.Serve(sensed, page_transfer_time_);
+    at_controller = channel.Serve(sensed, page_transfer_time_, "ecc retry");
     errors = SampleBitErrors(attempt);
   }
+  obs::RecordHistogram(m_read_latency_, at_controller - ready);
   return at_controller;
 }
 

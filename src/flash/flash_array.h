@@ -13,6 +13,8 @@
 #include "common/units.h"
 #include "flash/backing_store.h"
 #include "flash/geometry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault_injector.h"
 #include "sim/rate_server.h"
 
@@ -61,6 +63,18 @@ class FlashArray {
   void set_fault_injector(sim::FaultInjector* injector) {
     fault_injector_ = injector;
   }
+
+  // Puts each channel bus on its own trace lane ("flash chan N" under
+  // `process`) and records ECC retries / uncorrectable pages as instant
+  // events on the affected channel's lane. The 32 per-chip servers stay
+  // untraced on purpose — channel occupancy is the paper's bottleneck
+  // signal and per-chip lanes would drown the trace. nullptr detaches.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process);
+
+  // Registers flash counters (reads, ECC corrections/retries,
+  // uncorrectables) and the page read-latency histogram. nullptr
+  // detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   // Reads one page: data lands in `out` (if non-empty) and the returned
   // time is when the page is available at the channel controller, ready
@@ -128,6 +142,11 @@ class FlashArray {
   std::uint64_t reads_corrected_ = 0;
   std::uint64_t read_retries_ = 0;
   std::uint64_t uncorrectable_reads_ = 0;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_corrected_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_uncorrectable_ = nullptr;
+  obs::Histogram* m_read_latency_ = nullptr;
 };
 
 }  // namespace smartssd::flash

@@ -59,6 +59,23 @@ Status Ftl::Invalidate(std::uint64_t ppn) {
   return Status::OK();
 }
 
+void Ftl::AttachTracer(obs::Tracer* tracer, std::string_view process) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->RegisterTrack(process, "ftl gc");
+}
+
+void Ftl::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_gc_runs_ = nullptr;
+    m_gc_relocations_ = nullptr;
+    m_gc_duration_ = nullptr;
+    return;
+  }
+  m_gc_runs_ = metrics->counter("ftl.gc_runs");
+  m_gc_relocations_ = metrics->counter("ftl.gc_relocations");
+  m_gc_duration_ = metrics->histogram("ftl.gc_run_ns");
+}
+
 Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
   const flash::Geometry& g = array_->geometry();
   const std::uint64_t chip_index =
@@ -70,6 +87,8 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
   }
   in_gc_ = true;
   ++stats_.gc_runs;
+  obs::BumpCounter(m_gc_runs_);
+  const std::uint64_t relocations_before = stats_.gc_relocations;
   SimTime now = ready;
 
   // Greedy victim: the non-active block on this chip with fewest valid
@@ -133,6 +152,15 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
                               now));
   ++stats_.block_erases;
   cursor.free_blocks.push_back(victim);
+  const std::uint64_t relocated =
+      stats_.gc_relocations - relocations_before;
+  obs::BumpCounter(m_gc_relocations_, relocated);
+  obs::RecordHistogram(m_gc_duration_, now - ready);
+  if (tracer_ != nullptr) {
+    tracer_->Complete(track_, "gc run", "ftl", ready, now,
+                      {obs::Arg::Uint("relocated_pages", relocated),
+                       obs::Arg::Uint("victim_valid", victim_valid)});
+  }
   in_gc_ = false;
   return now;
 }

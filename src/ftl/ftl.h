@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "flash/flash_array.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartssd::ftl {
 
@@ -82,6 +84,13 @@ class Ftl {
 
   const FtlStats& stats() const { return stats_; }
 
+  // Records each GC run as a span on an "ftl gc" lane under `process`
+  // (args: relocated pages, victim valid count). nullptr detaches.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process);
+
+  // Registers GC counters and the per-run GC duration histogram.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
   // Highest block-erase count across the array (wear ceiling).
   std::uint32_t max_erase_count() const;
 
@@ -121,6 +130,11 @@ class Ftl {
   bool in_gc_ = false;               // guards against recursive GC
 
   FtlStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Counter* m_gc_runs_ = nullptr;
+  obs::Counter* m_gc_relocations_ = nullptr;
+  obs::Histogram* m_gc_duration_ = nullptr;
 };
 
 }  // namespace smartssd::ftl

@@ -1,0 +1,193 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace smartssd::obs {
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// trace_event timestamps are microseconds; keep nanosecond precision as
+// three fractional digits, via integer math only (byte-deterministic).
+void AppendMicros(std::string& out, SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void AppendArgs(std::string& out, const std::vector<Arg>& args) {
+  out += "\"args\":{";
+  char buf[40];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    const Arg& arg = args[i];
+    AppendJsonString(out, arg.key);
+    out.push_back(':');
+    switch (arg.kind) {
+      case Arg::Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, arg.i);
+        out += buf;
+        break;
+      case Arg::Kind::kUint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, arg.u);
+        out += buf;
+        break;
+      case Arg::Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.17g", arg.d);
+        out += buf;
+        break;
+      case Arg::Kind::kString:
+        AppendJsonString(out, arg.s);
+        break;
+    }
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  const std::vector<Track>& tracks = tracer.tracks();
+  const std::vector<TraceEvent>& events = tracer.events();
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('\n');
+  };
+
+  // Metadata: name each process once (first track wins) and each lane.
+  std::vector<std::size_t> order(tracks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tracks[a].pid != tracks[b].pid) return tracks[a].pid < tracks[b].pid;
+    return tracks[a].tid < tracks[b].tid;
+  });
+  std::uint32_t last_pid = ~0u;
+  for (std::size_t idx : order) {
+    const Track& track = tracks[idx];
+    if (track.pid != last_pid) {
+      last_pid = track.pid;
+      comma();
+      out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+      std::snprintf(buf, sizeof(buf), "%u,\"tid\":0,", track.pid);
+      out += buf;
+      out += "\"args\":{\"name\":";
+      AppendJsonString(out, track.process);
+      out += "}}";
+    }
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%u,\"tid\":%u,", track.pid, track.tid);
+    out += buf;
+    out += "\"args\":{\"name\":";
+    AppendJsonString(out, track.thread);
+    out += "}}";
+  }
+
+  // Events, in deterministic lane-then-time order.
+  std::vector<std::size_t> ev(events.size());
+  std::iota(ev.begin(), ev.end(), 0);
+  std::sort(ev.begin(), ev.end(), [&](std::size_t a, std::size_t b) {
+    const TraceEvent& ea = events[a];
+    const TraceEvent& eb = events[b];
+    const Track& ta = tracks[ea.track];
+    const Track& tb = tracks[eb.track];
+    if (ta.pid != tb.pid) return ta.pid < tb.pid;
+    if (ta.tid != tb.tid) return ta.tid < tb.tid;
+    if (ea.start != eb.start) return ea.start < eb.start;
+    // Longer span first so enclosing spans precede their children.
+    const SimDuration da = ea.open() ? 0 : ea.duration();
+    const SimDuration db = eb.open() ? 0 : eb.duration();
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (std::size_t idx : ev) {
+    const TraceEvent& event = events[idx];
+    const Track& track = tracks[event.track];
+    comma();
+    out += "{\"ph\":";
+    out += event.phase == TraceEvent::Phase::kSpan ? "\"X\"" : "\"i\"";
+    out += ",\"name\":";
+    AppendJsonString(out, event.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, event.category.empty() ? std::string_view("sim")
+                                                 : event.category);
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%u,\"tid\":%u,\"ts\":",
+                  track.pid, track.tid);
+    out += buf;
+    AppendMicros(out, event.start);
+    if (event.phase == TraceEvent::Phase::kSpan) {
+      out += ",\"dur\":";
+      AppendMicros(out, event.open() ? 0 : event.duration());
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    if (event.id != kNoSpan || event.parent != kNoSpan ||
+        !event.args.empty()) {
+      out.push_back(',');
+      std::vector<Arg> args;
+      if (event.id != kNoSpan) args.push_back(Arg::Uint("span", event.id));
+      if (event.parent != kNoSpan) {
+        args.push_back(Arg::Uint("parent", event.parent));
+      }
+      for (const Arg& a : event.args) args.push_back(a);
+      AppendArgs(out, args);
+    }
+    out.push_back('}');
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, std::string_view path) {
+  const std::string json = ExportChromeTrace(tracer);
+  std::FILE* f = std::fopen(std::string(path).c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("cannot open trace output file: " + std::string(path));
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return IoError("short write to trace output file: " + std::string(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace smartssd::obs

@@ -1,0 +1,28 @@
+#ifndef SMARTSSD_OBS_CHROME_TRACE_H_
+#define SMARTSSD_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace smartssd::obs {
+
+// Serializes a Tracer's tracks and events as Chrome trace_event JSON
+// ({"traceEvents": [...], "displayTimeUnit": "ns"}), loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each Track becomes a
+// (pid, tid) lane named by process_name / thread_name metadata events;
+// spans become "X" complete events, instants become "i" events, and
+// virtual nanoseconds map to the format's microsecond field with
+// fractional digits (integer math, so output is byte-deterministic for
+// a given event set). Open spans are exported as zero-length markers at
+// their start time rather than dropped.
+std::string ExportChromeTrace(const Tracer& tracer);
+
+// ExportChromeTrace + write to `path`.
+Status WriteChromeTrace(const Tracer& tracer, std::string_view path);
+
+}  // namespace smartssd::obs
+
+#endif  // SMARTSSD_OBS_CHROME_TRACE_H_

@@ -41,6 +41,19 @@ void FaultInjector::Clear() {
   random_.clear();
 }
 
+void FaultInjector::AttachTracer(obs::Tracer* tracer,
+                                 std::string_view process) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->RegisterTrack(process, "faults");
+}
+
+void FaultInjector::RecordFire(FaultKind kind, SimTime now) {
+  ++fired_[static_cast<int>(kind)];
+  if (tracer_ != nullptr) {
+    tracer_->Instant(track_, FaultKindName(kind), "fault", now);
+  }
+}
+
 std::uint64_t FaultInjector::total_fired() const {
   std::uint64_t total = 0;
   for (const auto f : fired_) total += f;
@@ -65,7 +78,7 @@ bool FaultInjector::FireDeterministic(FaultKind kind, SimTime now) {
     }
     if (!reached) continue;
     if (--it->remaining == 0) armed_.erase(it);
-    ++fired_[static_cast<int>(kind)];
+    RecordFire(kind, now);
     return true;
   }
   return false;
@@ -78,7 +91,7 @@ bool FaultInjector::OnPageRead(FaultKind kind, SimTime now) {
   for (const RandomFault& fault : random_) {
     if (fault.kind != kind) continue;
     if (rng_.Bernoulli(fault.per_page)) {
-      ++fired_[static_cast<int>(kind)];
+      RecordFire(kind, now);
       return true;
     }
   }

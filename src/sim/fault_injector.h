@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace smartssd::sim {
 
@@ -99,6 +100,10 @@ class FaultInjector {
   // triggers against the current counters without advancing them.
   bool OnEvent(FaultKind kind, SimTime now);
 
+  // Records every firing as an instant event on a "faults" lane under
+  // `process` (nullptr detaches).
+  void AttachTracer(obs::Tracer* tracer, std::string_view process);
+
   // --- Introspection ---------------------------------------------------
   std::uint64_t pages_read() const { return pages_; }
   std::uint64_t bytes_transferred() const { return bytes_; }
@@ -116,12 +121,16 @@ class FaultInjector {
   // Checks deterministic triggers for `kind`; consumes one firing.
   bool FireDeterministic(FaultKind kind, SimTime now);
 
+  void RecordFire(FaultKind kind, SimTime now);
+
   std::vector<Armed> armed_;
   std::vector<RandomFault> random_;
   Random rng_;
   std::uint64_t pages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t fired_[kNumFaultKinds] = {};
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace smartssd::sim

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace smartssd::sim {
 
@@ -23,20 +24,47 @@ namespace smartssd::sim {
 //
 // The server also accumulates busy time, which the energy model
 // integrates (active power x busy + idle power x (elapsed - busy)).
+//
+// With a tracer attached, every nonzero service interval is recorded as
+// an occupancy span on the server's track. The span uses the [start,
+// completion] pair the recurrence already computed — tracing never reads
+// or advances virtual time, so timings are bit-identical on or off.
 class RateServer {
  public:
   explicit RateServer(std::string name) : name_(std::move(name)) {}
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(RateServer);
 
   // Serves a request that becomes ready at `ready` and needs `service`
-  // time on this resource. Returns the completion time.
-  SimTime Serve(SimTime ready, SimDuration service) {
+  // time on this resource. Returns the completion time. `label`, when
+  // given, names the occupancy span (defaults to the server name).
+  SimTime Serve(SimTime ready, SimDuration service,
+                const char* label = nullptr) {
     const SimTime start = ready > next_free_ ? ready : next_free_;
     next_free_ = start + service;
     busy_time_ += service;
     ++requests_;
+    if (tracer_ != nullptr && service > 0) {
+      tracer_->Complete(track_,
+                        label != nullptr ? std::string_view(label)
+                                         : std::string_view(name_),
+                        "occupancy", start, next_free_);
+    }
     return next_free_;
   }
+
+  // Registers this server as `thread` (default: the server name) under
+  // `process` and starts recording occupancy spans. Pass nullptr to
+  // detach.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process,
+                    std::string_view thread = {}) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      track_ = tracer_->RegisterTrack(process,
+                                      thread.empty() ? name_ : thread);
+    }
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::TrackId track() const { return track_; }
 
   // Time at which the server would start a request that is ready now.
   SimTime next_free() const { return next_free_; }
@@ -55,11 +83,16 @@ class RateServer {
   SimTime next_free_ = 0;
   SimDuration busy_time_ = 0;
   std::uint64_t requests_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 // A pool of `k` identical FIFO servers with least-loaded dispatch. Models
 // multi-core CPUs (each request is one task that runs on one core) and
 // multi-chip flash channels.
+//
+// With a tracer attached, each of the k sub-servers gets its own track
+// ("<name> 0" ... "<name> k-1"), so per-core saturation is visible.
 class ParallelServer {
  public:
   ParallelServer(std::string name, int k) : name_(std::move(name)) {
@@ -69,7 +102,8 @@ class ParallelServer {
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(ParallelServer);
 
   // Dispatches to the server that frees up earliest.
-  SimTime Serve(SimTime ready, SimDuration service) {
+  SimTime Serve(SimTime ready, SimDuration service,
+                const char* label = nullptr) {
     std::size_t best = 0;
     for (std::size_t i = 1; i < next_free_.size(); ++i) {
       if (next_free_[i] < next_free_[best]) best = i;
@@ -79,8 +113,32 @@ class ParallelServer {
     next_free_[best] = start + service;
     busy_time_ += service;
     ++requests_;
+    if (tracer_ != nullptr && service > 0) {
+      tracer_->Complete(tracks_[best],
+                        label != nullptr ? std::string_view(label)
+                                         : std::string_view(name_),
+                        "occupancy", start, next_free_[best]);
+    }
     return next_free_[best];
   }
+
+  // Registers one track per sub-server ("<thread> 0" ... "<thread> k-1",
+  // default thread base: the pool name) under `process` and starts
+  // recording occupancy spans. Pass nullptr to detach.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process,
+                    std::string_view thread = {}) {
+    tracer_ = tracer;
+    if (tracer_ == nullptr) return;
+    const std::string base(thread.empty() ? std::string_view(name_)
+                                          : thread);
+    tracks_.clear();
+    tracks_.reserve(next_free_.size());
+    for (std::size_t i = 0; i < next_free_.size(); ++i) {
+      tracks_.push_back(
+          tracer_->RegisterTrack(process, base + " " + std::to_string(i)));
+    }
+  }
+  obs::Tracer* tracer() const { return tracer_; }
 
   int size() const { return static_cast<int>(next_free_.size()); }
   SimDuration busy_time() const { return busy_time_; }
@@ -116,6 +174,8 @@ class ParallelServer {
   std::vector<SimTime> next_free_;
   SimDuration busy_time_ = 0;
   std::uint64_t requests_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::TrackId> tracks_;
 };
 
 }  // namespace smartssd::sim

@@ -66,6 +66,14 @@ SmartSsdRuntime::SmartSsdRuntime(ssd::SsdDevice* device) : device_(device) {
   SMARTSSD_CHECK(device != nullptr);
 }
 
+void SmartSsdRuntime::AttachTracer(obs::Tracer* tracer,
+                                   std::string_view process) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    track_ = tracer_->RegisterTrack(process, "session");
+  }
+}
+
 Result<SessionStats> SmartSsdRuntime::RunSession(
     InSsdProgram& program, const PollingPolicy& policy, SimTime start,
     std::vector<std::byte>* host_output, SimTime* failed_at) {
@@ -77,6 +85,12 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
   if (!result.ok()) {
     ++sessions_failed_;
     if (failed_at != nullptr) *failed_at = fail_time;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(
+          track_, "session failed", "protocol", fail_time,
+          {obs::Arg::Str("code", StatusCodeToString(result.status().code())),
+           obs::Arg::Str("error", result.status().message())});
+    }
   }
   // Session-leak check: every grant the session took — DRAM for hash
   // tables and buffers, accounted by SessionServices — must be back,
@@ -113,6 +127,11 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
   open_done = std::max(open_done, t);
   stats.open_done = open_done;
   *fail_time = open_done;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(track_, "OPEN", "protocol", start, open_done,
+                      {obs::Arg::Uint("session", stats.session_id),
+                       obs::Arg::Uint("dram_bytes", dram_needed)});
+  }
 
   // --- Device-side processing: stream the input extents ---
   ResultQueue queue(device_->page_size());
@@ -155,6 +174,12 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
   queue.Flush(processing_done);
   stats.processing_done = processing_done;
   *fail_time = processing_done;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(
+        track_, "process extents", "protocol", open_done, processing_done,
+        {obs::Arg::Uint("pages", stats.pages_processed),
+         obs::Arg::Uint("embedded_cycles", stats.embedded_cycles)});
+  }
 
   // --- GET polling: the host drains results as they become ready,
   // backing off while the device reports nothing and re-issuing (within
@@ -164,6 +189,7 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
   SimDuration interval = policy.min_poll_interval;
   std::uint32_t retries_left = policy.session_retry_budget;
   for (;;) {
+    const SimTime get_issued = poll_time;
     poll_time = device_->HostCommand(poll_time);  // the GET itself
     ++stats.gets_issued;
     *fail_time = poll_time;
@@ -180,6 +206,10 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
       }
       --retries_left;
       ++stats.get_retries;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(track_, "GET stall", "protocol", poll_time,
+                         {obs::Arg::Uint("retries_left", retries_left)});
+      }
       poll_time += policy.get_timeout;
       interval = policy.min_poll_interval;
       continue;
@@ -203,6 +233,10 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
       last_transfer = poll_time;
       transferred = true;
     }
+    if (tracer_ != nullptr) {
+      tracer_->Complete(track_, "GET", "protocol", get_issued, poll_time,
+                        {obs::Arg::Uint("delivered", transferred ? 1 : 0)});
+    }
     if (queue.pending_chunks() == 0 && poll_time >= processing_done) {
       // This GET saw the program finished with nothing left to deliver.
       break;
@@ -210,6 +244,10 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
     if (transferred) {
       interval = policy.min_poll_interval;
     } else {
+      if (tracer_ != nullptr) {
+        tracer_->Instant(track_, "poll backoff", "protocol", poll_time,
+                         {obs::Arg::Uint("interval_ns", interval)});
+      }
       poll_time += interval;
       interval = policy.NextInterval(interval);
     }
@@ -218,6 +256,11 @@ Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
 
   // --- CLOSE: tear down, free grants (via ~SessionServices) ---
   stats.close_done = device_->HostCommand(poll_time);
+  if (tracer_ != nullptr) {
+    tracer_->Complete(track_, "CLOSE", "protocol", poll_time,
+                      stats.close_done,
+                      {obs::Arg::Uint("session", stats.session_id)});
+  }
   return stats;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "smart/program.h"
 #include "smart/protocol.h"
 #include "ssd/ssd_device.h"
@@ -65,6 +66,12 @@ class SmartSsdRuntime {
   std::uint64_t sessions_run() const { return sessions_run_; }
   std::uint64_t sessions_failed() const { return sessions_failed_; }
 
+  // Records the protocol timeline — OPEN/GET/CLOSE spans, poll backoff
+  // and stall instants, session failures — on a "session" lane under
+  // `process` (the host side, which drives the protocol). nullptr
+  // detaches.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process);
+
  private:
   Result<SessionStats> RunSessionImpl(InSsdProgram& program,
                                       const PollingPolicy& policy,
@@ -76,6 +83,8 @@ class SmartSsdRuntime {
   SessionId next_session_id_ = 1;
   std::uint64_t sessions_run_ = 0;
   std::uint64_t sessions_failed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace smartssd::smart

@@ -23,7 +23,7 @@ Result<SimTime> SsdDevice::InternalReadPageTiming(std::uint64_t lpn,
   SMARTSSD_ASSIGN_OR_RETURN(const SimTime at_controller,
                             ftl_->ReadTiming(lpn, ready));
   // DMA from the channel controller into shared DRAM.
-  return dma_->Serve(at_controller, dma_page_time_);
+  return dma_->Serve(at_controller, dma_page_time_, "page dma");
 }
 
 Result<SimTime> SsdDevice::InternalReadPage(std::uint64_t lpn,
@@ -70,7 +70,7 @@ Result<SimTime> SsdDevice::ReadPages(std::uint64_t lpn, std::uint32_t count,
                                 in_dram)) {
       return IoError("host interface transfer error (injected fault)");
     }
-    last = host_link_->Serve(in_dram, link_page_time);
+    last = host_link_->Serve(in_dram, link_page_time, "page to host");
   }
   return last;
 }
@@ -91,8 +91,10 @@ Result<SimTime> SsdDevice::WritePages(std::uint64_t lpn, std::uint32_t count,
                                 t)) {
       return IoError("host interface transfer error (injected fault)");
     }
-    const SimTime at_device = host_link_->Serve(t, link_page_time);
-    const SimTime in_dram = dma_->Serve(at_device, dma_page_time_);
+    const SimTime at_device =
+        host_link_->Serve(t, link_page_time, "page to device");
+    const SimTime in_dram =
+        dma_->Serve(at_device, dma_page_time_, "page dma");
     SMARTSSD_ASSIGN_OR_RETURN(
         last, ftl_->Write(lpn + i,
                           data.subspan(
@@ -105,7 +107,8 @@ Result<SimTime> SsdDevice::WritePages(std::uint64_t lpn, std::uint32_t count,
 
 SimTime SsdDevice::ExecuteOnDevice(std::uint64_t cycles, SimTime ready) {
   return embedded_->Serve(
-      ready, CyclesToTime(cycles, config_.embedded_cpu.clock_hz));
+      ready, CyclesToTime(cycles, config_.embedded_cpu.clock_hz),
+      "device task");
 }
 
 SimTime SsdDevice::TransferToHost(std::uint64_t bytes, SimTime ready) {
@@ -113,11 +116,13 @@ SimTime SsdDevice::TransferToHost(std::uint64_t bytes, SimTime ready) {
   return host_link_->Serve(
       ready,
       TransferTime(bytes, EffectiveBytesPerSecond(
-                              config_.host_interface.standard)));
+                              config_.host_interface.standard)),
+      "result to host");
 }
 
 SimTime SsdDevice::HostCommand(SimTime ready) {
-  return host_link_->Serve(ready, config_.host_interface.command_latency);
+  return host_link_->Serve(ready, config_.host_interface.command_latency,
+                           "command");
 }
 
 Status SsdDevice::AllocateDeviceDram(std::uint64_t bytes) {
@@ -131,6 +136,21 @@ Status SsdDevice::AllocateDeviceDram(std::uint64_t bytes) {
 void SsdDevice::ReleaseDeviceDram(std::uint64_t bytes) {
   SMARTSSD_CHECK_LE(bytes, dram_used_);
   dram_used_ -= bytes;
+}
+
+void SsdDevice::AttachTracer(obs::Tracer* tracer,
+                             std::string_view process) {
+  array_->AttachTracer(tracer, process);
+  ftl_->AttachTracer(tracer, process);
+  dma_->AttachTracer(tracer, process, "dram bus");
+  embedded_->AttachTracer(tracer, process, "embedded core");
+  host_link_->AttachTracer(tracer, process, "host link");
+  fault_injector_.AttachTracer(tracer, process);
+}
+
+void SsdDevice::AttachMetrics(obs::MetricsRegistry* metrics) {
+  array_->AttachMetrics(metrics);
+  ftl_->AttachMetrics(metrics);
 }
 
 void SsdDevice::ResetTiming() {

@@ -90,6 +90,7 @@ class SsdDevice : public BlockDevice {
 
   const SsdConfig& config() const { return config_; }
   flash::FlashArray& flash_array() { return *array_; }
+  const flash::FlashArray& flash_array() const { return *array_; }
   ftl::Ftl& ftl() { return *ftl_; }
 
   // The device-wide fault injector, shared with the flash array and the
@@ -113,6 +114,16 @@ class SsdDevice : public BlockDevice {
   // Drops all timing state (not data). Used between benchmark phases so
   // load-time queueing does not bleed into measured queries.
   void ResetTiming();
+
+  // Puts every controller resource on its own trace lane under
+  // `process`: flash channels, DRAM bus(es), embedded cores, the host
+  // link, plus the FTL GC lane and the fault-injector lane. nullptr
+  // detaches the device-side lanes.
+  void AttachTracer(obs::Tracer* tracer, std::string_view process);
+
+  // Registers flash/FTL instruments on `metrics` (see the layers'
+  // AttachMetrics). nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
  private:
   SsdConfig config_;
