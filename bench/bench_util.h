@@ -51,6 +51,49 @@ inline void PrintRule() {
   std::printf("--------------------------------------------------------------\n");
 }
 
+// Escapes a string for embedding in a JSON string literal: quotes and
+// backslashes get a backslash, control characters become \uXXXX (with
+// the common short forms for \b \f \n \r \t).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
 // Machine-readable bench output, enabled by a `--json=<path>` argument.
 // Write() emits a JSON array with one object per measured configuration:
 //   {"bench": ..., "config": ..., "virtual_seconds": ...,
@@ -95,8 +138,8 @@ class JsonReporter {
       std::fprintf(f,
                    "{\"bench\":\"%s\",\"config\":\"%s\","
                    "\"virtual_seconds\":%.9g,\"paper_ratio\":",
-                   bench_id_.c_str(), row.config.c_str(),
-                   row.virtual_seconds);
+                   JsonEscape(bench_id_).c_str(),
+                   JsonEscape(row.config).c_str(), row.virtual_seconds);
       WriteRatio(f, row.paper_ratio);
       std::fprintf(f, ",\"measured_ratio\":");
       WriteRatio(f, row.measured_ratio);

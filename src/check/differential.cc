@@ -1,0 +1,409 @@
+#include "check/differential.h"
+
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "check/invariants.h"
+#include "check/result_compare.h"
+#include "check/spec_print.h"
+#include "check/table_gen.h"
+#include "engine/executor.h"
+#include "engine/parallel.h"
+#include "sim/fault_injector.h"
+
+namespace smartssd::check {
+
+namespace {
+
+using engine::Database;
+using engine::DatabaseOptions;
+using engine::ExecutionTarget;
+using engine::ParallelDatabase;
+using engine::QueryExecutor;
+
+// Fault kinds safe for differential runs: each either recovers inside
+// the session (stall retry) or kills it and triggers the byte-identical
+// host fallback. kTransferError is excluded — it also fires on the
+// host path, where there is nothing to fall back to.
+constexpr sim::FaultKind kFaultRotation[] = {
+    sim::FaultKind::kGetStall,           sim::FaultKind::kDeviceReset,
+    sim::FaultKind::kOpenRejected,       sim::FaultKind::kResultQueueOverflow,
+    sim::FaultKind::kUncorrectableRead,
+};
+
+sim::FaultSchedule MakeSchedule(sim::FaultKind kind) {
+  sim::FaultSchedule schedule;
+  if (kind == sim::FaultKind::kUncorrectableRead) {
+    // Fires on the session's second flash page read, so it is spent
+    // before a host fallback re-reads the same pages.
+    schedule.faults.push_back(sim::FaultSpec{
+        kind, {sim::TriggerUnit::kPagesRead, 2}, 1});
+  } else {
+    // Protocol charge points check virtual time without advancing
+    // counters; `at == 0` arms the fault for the first event.
+    schedule.faults.push_back(
+        sim::FaultSpec{kind, {sim::TriggerUnit::kSimTime, 0}, 1});
+  }
+  return schedule;
+}
+
+// One seed's worth of databases: the same relation loaded into every
+// configuration once, then reused for all the seed's specs.
+class DifferentialRunner {
+ public:
+  DifferentialRunner(std::uint64_t seed, const HarnessOptions& options)
+      : seed_(seed), options_(options) {
+    gen_ = options.gen;
+    gen_.tables.seed = seed;
+
+    DatabaseOptions base = DatabaseOptions::PaperSmartSsd();
+    base.buffer_pool_pages = options.buffer_pool_pages;
+
+    db_ref_ = std::make_unique<Database>(base);
+    db_nsm_ = std::make_unique<Database>(base);
+    db_pax_ = std::make_unique<Database>(base);
+    SMARTSSD_CHECK(
+        LoadTables(*db_ref_, gen_.tables, storage::PageLayout::kNsm).ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_nsm_, gen_.tables, storage::PageLayout::kNsm).ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_pax_, gen_.tables, storage::PageLayout::kPax).ok());
+    // The reference database keeps NO zone map: it is the unpruned
+    // ground truth a broken pruning path must disagree with.
+    SMARTSSD_CHECK(db_nsm_->BuildZoneMap(kOuterTable).ok());
+    SMARTSSD_CHECK(db_pax_->BuildZoneMap(kOuterTable).ok());
+
+    par1_ = std::make_unique<ParallelDatabase>(1, base);
+    par2_ = std::make_unique<ParallelDatabase>(2, base);
+    par4_ = std::make_unique<ParallelDatabase>(4, base);
+    SMARTSSD_CHECK(LoadTablesPartitioned(*par1_, gen_.tables,
+                                         storage::PageLayout::kNsm)
+                       .ok());
+    SMARTSSD_CHECK(LoadTablesPartitioned(*par2_, gen_.tables,
+                                         storage::PageLayout::kPax)
+                       .ok());
+    SMARTSSD_CHECK(LoadTablesPartitioned(*par4_, gen_.tables,
+                                         storage::PageLayout::kNsm)
+                       .ok());
+    for (ParallelDatabase* par : {par1_.get(), par2_.get(), par4_.get()}) {
+      for (int w = 0; w < par->workers(); ++w) {
+        SMARTSSD_CHECK(par->worker(w).BuildZoneMap(kOuterTable).ok());
+      }
+    }
+
+    db_ref_->AttachTracer(&tracer_ref_, "ref-dev", "ref-host");
+    db_nsm_->AttachTracer(&tracer_nsm_, "nsm-dev", "nsm-host");
+    db_pax_->AttachTracer(&tracer_pax_, "pax-dev", "pax-host");
+  }
+
+  int executions() const { return executions_; }
+  int fallbacks() const { return fallbacks_; }
+
+  // Runs `spec` through the whole matrix; the first divergence (or
+  // error, or invariant violation) is returned as (config, message).
+  std::optional<std::pair<std::string, std::string>> CheckSpec(
+      const exec::QuerySpec& spec, int index) {
+    auto ref = RunSingle(*db_ref_, tracer_ref_, spec,
+                         ExecutionTarget::kHost, "ref-nsm-host", nullptr);
+    if (!ref.ok()) {
+      return std::make_pair(std::string("ref-nsm-host"),
+                            ref.status().ToString());
+    }
+
+    struct SingleConfig {
+      const char* name;
+      Database* db;
+      obs::Tracer* tracer;
+      ExecutionTarget target;
+      std::optional<sim::FaultKind> fault;
+    };
+    std::vector<SingleConfig> singles = {
+        {"nsm-host", db_nsm_.get(), &tracer_nsm_, ExecutionTarget::kHost,
+         std::nullopt},
+        {"nsm-smart", db_nsm_.get(), &tracer_nsm_,
+         ExecutionTarget::kSmartSsd, std::nullopt},
+        {"pax-host", db_pax_.get(), &tracer_pax_, ExecutionTarget::kHost,
+         std::nullopt},
+        {"pax-smart", db_pax_.get(), &tracer_pax_,
+         ExecutionTarget::kSmartSsd, std::nullopt},
+    };
+    if (options_.with_faults) {
+      const std::size_t n = std::size(kFaultRotation);
+      singles.push_back({"nsm-smart-fault", db_nsm_.get(), &tracer_nsm_,
+                         ExecutionTarget::kSmartSsd,
+                         kFaultRotation[static_cast<std::size_t>(index) % n]});
+      singles.push_back(
+          {"pax-smart-fault", db_pax_.get(), &tracer_pax_,
+           ExecutionTarget::kSmartSsd,
+           kFaultRotation[(static_cast<std::size_t>(index) + 2) % n]});
+    }
+    for (const SingleConfig& config : singles) {
+      sim::FaultSchedule schedule;
+      if (config.fault.has_value()) schedule = MakeSchedule(*config.fault);
+      auto out = RunSingle(*config.db, *config.tracer, spec, config.target,
+                           config.name,
+                           config.fault.has_value() ? &schedule : nullptr);
+      if (!out.ok()) {
+        return std::make_pair(std::string(config.name),
+                              out.status().ToString());
+      }
+      if (Status diff = CompareOutputs(*ref, *out); !diff.ok()) {
+        return std::make_pair(std::string(config.name),
+                              diff.ToString());
+      }
+    }
+
+    struct ParConfig {
+      const char* name;
+      ParallelDatabase* par;
+      std::optional<sim::FaultKind> fault;
+    };
+    std::vector<ParConfig> parallels = {
+        {"par1-nsm-smart", par1_.get(), std::nullopt},
+        {"par2-pax-smart", par2_.get(), std::nullopt},
+        {"par4-nsm-smart", par4_.get(), std::nullopt},
+    };
+    if (options_.with_faults) {
+      parallels.push_back(
+          {"par2-pax-smart-fault", par2_.get(),
+           kFaultRotation[(static_cast<std::size_t>(index) + 4) %
+                          std::size(kFaultRotation)]});
+    }
+    for (const ParConfig& config : parallels) {
+      sim::FaultSchedule schedule;
+      if (config.fault.has_value()) schedule = MakeSchedule(*config.fault);
+      auto out = RunParallel(*config.par, spec, config.name,
+                             config.fault.has_value() ? &schedule : nullptr);
+      if (!out.ok()) {
+        return std::make_pair(std::string(config.name),
+                              out.status().ToString());
+      }
+      if (Status diff = CompareOutputs(*ref, *out); !diff.ok()) {
+        return std::make_pair(std::string(config.name), diff.ToString());
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Component-dropping minimization: repeatedly remove pieces of the
+  // spec while it still fails, restoring each piece that turns out to
+  // be load-bearing. Expressions are move-only (no Clone()), so the
+  // minimizer mutates in place and moves components back on a miss.
+  void Minimize(exec::QuerySpec& spec, int index) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+
+      if (spec.top_n.has_value()) {
+        std::optional<exec::TopNSpec> saved;
+        std::swap(saved, spec.top_n);
+        if (StillFails(spec, index)) {
+          changed = true;
+        } else {
+          std::swap(saved, spec.top_n);
+        }
+      }
+      if (!spec.group_by.empty()) {
+        std::vector<int> saved;
+        std::swap(saved, spec.group_by);
+        if (StillFails(spec, index)) {
+          changed = true;
+        } else {
+          std::swap(saved, spec.group_by);
+        }
+      }
+      if (spec.aggregates.size() > 1) {
+        std::vector<exec::AggSpec> tail;
+        for (std::size_t i = 1; i < spec.aggregates.size(); ++i) {
+          tail.push_back(std::move(spec.aggregates[i]));
+        }
+        spec.aggregates.resize(1);
+        if (StillFails(spec, index)) {
+          changed = true;
+        } else {
+          for (exec::AggSpec& agg : tail) {
+            spec.aggregates.push_back(std::move(agg));
+          }
+        }
+      }
+      if (spec.predicate != nullptr) {
+        expr::ExprPtr saved = std::move(spec.predicate);
+        if (StillFails(spec, index)) {
+          changed = true;
+        } else {
+          spec.predicate = std::move(saved);
+        }
+      }
+      if (spec.projection.size() > 1) {
+        // Keep the order column (always projection[0] by construction)
+        // so a top-N spec stays valid.
+        std::vector<int> saved = spec.projection;
+        spec.projection.resize(1);
+        if (StillFails(spec, index)) {
+          changed = true;
+        } else {
+          spec.projection = std::move(saved);
+        }
+      }
+      if (spec.join.has_value()) {
+        std::optional<exec::JoinSpec> saved_join;
+        std::swap(saved_join, spec.join);
+        const exec::PipelineOrder saved_order = spec.order;
+        spec.order = exec::PipelineOrder::kFilterFirst;
+        if (BindsClean(spec) && StillFails(spec, index)) {
+          changed = true;
+        } else {
+          std::swap(saved_join, spec.join);
+          spec.order = saved_order;
+        }
+      }
+    }
+  }
+
+ private:
+  bool BindsClean(const exec::QuerySpec& spec) {
+    return exec::Bind(spec, db_ref_->catalog()).ok();
+  }
+
+  bool StillFails(const exec::QuerySpec& spec, int index) {
+    return BindsClean(spec) && CheckSpec(spec, index).has_value();
+  }
+
+  Result<ExecutionOutput> RunSingle(Database& db, obs::Tracer& tracer,
+                                    const exec::QuerySpec& spec,
+                                    ExecutionTarget target,
+                                    const char* config,
+                                    const sim::FaultSchedule* faults) {
+    ++executions_;
+    db.ResetForColdRun();
+    tracer.Clear();
+    if (faults != nullptr && db.ssd() != nullptr) {
+      db.ssd()->fault_injector().Load(*faults);
+    }
+    QueryExecutor executor(&db);
+    Result<engine::QueryResult> result = executor.Execute(spec, target);
+    if (db.ssd() != nullptr) db.ssd()->fault_injector().Clear();
+    SMARTSSD_RETURN_IF_ERROR(result.status());
+    if (result->stats.fell_back) ++fallbacks_;
+    SMARTSSD_RETURN_IF_ERROR(CheckTraceInvariants(tracer));
+    SMARTSSD_RETURN_IF_ERROR(CheckDatabaseInvariants(db));
+    return FromQuery(config, result.value());
+  }
+
+  Result<ExecutionOutput> RunParallel(ParallelDatabase& par,
+                                      const exec::QuerySpec& spec,
+                                      const char* config,
+                                      const sim::FaultSchedule* faults) {
+    ++executions_;
+    par.ResetForColdRun();
+    if (faults != nullptr && par.worker(0).ssd() != nullptr) {
+      par.worker(0).ssd()->fault_injector().Load(*faults);
+    }
+    Result<engine::ParallelQueryResult> result =
+        par.Execute(spec, ExecutionTarget::kSmartSsd);
+    for (int w = 0; w < par.workers(); ++w) {
+      if (par.worker(w).ssd() != nullptr) {
+        par.worker(w).ssd()->fault_injector().Clear();
+      }
+    }
+    SMARTSSD_RETURN_IF_ERROR(result.status());
+    for (const engine::QueryStats& stats : result->worker_stats) {
+      if (stats.fell_back) ++fallbacks_;
+    }
+    for (int w = 0; w < par.workers(); ++w) {
+      SMARTSSD_RETURN_IF_ERROR(CheckDatabaseInvariants(par.worker(w)));
+    }
+    return FromParallel(config, result.value());
+  }
+
+  std::uint64_t seed_;
+  HarnessOptions options_;
+  SpecGenConfig gen_;
+  std::unique_ptr<Database> db_ref_;
+  std::unique_ptr<Database> db_nsm_;
+  std::unique_ptr<Database> db_pax_;
+  std::unique_ptr<ParallelDatabase> par1_;
+  std::unique_ptr<ParallelDatabase> par2_;
+  std::unique_ptr<ParallelDatabase> par4_;
+  obs::Tracer tracer_ref_;
+  obs::Tracer tracer_nsm_;
+  obs::Tracer tracer_pax_;
+  int executions_ = 0;
+  int fallbacks_ = 0;
+};
+
+void RunOneSpec(DifferentialRunner& runner, std::uint64_t seed, int index,
+                const SpecGenConfig& gen, const HarnessOptions& options,
+                HarnessReport* report) {
+  exec::QuerySpec spec = GenerateSpec(seed, index, gen);
+  ++report->specs_run;
+  auto failure = runner.CheckSpec(spec, index);
+  if (!failure.has_value()) return;
+
+  DifferentialFailure record;
+  record.seed = seed;
+  record.spec_index = index;
+  record.config = failure->first;
+  record.message = failure->second;
+  record.spec_text = SpecToString(spec);
+  record.replay = "replay: check::ReplaySpec(/*seed=*/" +
+                  std::to_string(seed) + ", /*spec_index=*/" +
+                  std::to_string(index) + ")";
+  if (options.minimize_failures) {
+    runner.Minimize(spec, index);
+    record.minimized_spec_text = SpecToString(spec);
+  } else {
+    record.minimized_spec_text = record.spec_text;
+  }
+  report->failures.push_back(std::move(record));
+}
+
+}  // namespace
+
+std::string HarnessReport::Summary() const {
+  std::string out = "seed " + std::to_string(seed) + ": " +
+                    std::to_string(specs_run) + " specs, " +
+                    std::to_string(executions) + " executions (" +
+                    std::to_string(fallbacks) + " host fallbacks), " +
+                    std::to_string(failures.size()) + " failure(s)";
+  for (const DifferentialFailure& failure : failures) {
+    out += "\n  [" + failure.config + " @ spec " +
+           std::to_string(failure.spec_index) + "] " + failure.message;
+    out += "\n    spec:      " + failure.spec_text;
+    out += "\n    minimized: " + failure.minimized_spec_text;
+    out += "\n    " + failure.replay;
+  }
+  return out;
+}
+
+HarnessReport RunDifferentialSeed(std::uint64_t seed,
+                                  const HarnessOptions& options) {
+  HarnessReport report;
+  report.seed = seed;
+  DifferentialRunner runner(seed, options);
+  SpecGenConfig gen = options.gen;
+  gen.tables.seed = seed;
+  for (int i = 0; i < options.specs_per_seed; ++i) {
+    RunOneSpec(runner, seed, i, gen, options, &report);
+  }
+  report.executions = runner.executions();
+  report.fallbacks = runner.fallbacks();
+  return report;
+}
+
+HarnessReport ReplaySpec(std::uint64_t seed, int spec_index,
+                         const HarnessOptions& options) {
+  HarnessReport report;
+  report.seed = seed;
+  DifferentialRunner runner(seed, options);
+  SpecGenConfig gen = options.gen;
+  gen.tables.seed = seed;
+  RunOneSpec(runner, seed, spec_index, gen, options, &report);
+  report.executions = runner.executions();
+  report.fallbacks = runner.fallbacks();
+  return report;
+}
+
+}  // namespace smartssd::check

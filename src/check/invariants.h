@@ -1,0 +1,35 @@
+#ifndef SMARTSSD_CHECK_INVARIANTS_H_
+#define SMARTSSD_CHECK_INVARIANTS_H_
+
+// Structural invariants checked after every harness execution, on top
+// of the byte-identical-results comparison. These catch the class of
+// bug that produces the right answer with corrupted bookkeeping: leaked
+// trace spans, events stamped at impossible virtual times, device DRAM
+// that is never returned, a breaker in a contradictory state.
+
+#include "common/result.h"
+#include "engine/circuit_breaker.h"
+#include "engine/database.h"
+#include "obs/trace.h"
+
+namespace smartssd::check {
+
+// Every span is closed with start <= end, and each track's instant
+// events appear in non-decreasing virtual-time order (the simulator is
+// single-threaded, so a rewind on a lane means someone recorded an
+// event with a stale or defaulted timestamp).
+Status CheckTraceInvariants(const obs::Tracer& tracer);
+
+// After a completed query every session's scratch allocations must be
+// back: device DRAM free space equals the configured capacity.
+Status CheckNoDeviceDramLeak(const engine::Database& db);
+
+// The breaker's externally visible state is self-consistent.
+Status CheckBreakerSanity(const engine::DeviceCircuitBreaker& breaker);
+
+// All database-level invariants (DRAM + breaker) in one call.
+Status CheckDatabaseInvariants(const engine::Database& db);
+
+}  // namespace smartssd::check
+
+#endif  // SMARTSSD_CHECK_INVARIANTS_H_

@@ -1,0 +1,92 @@
+#include "check/result_compare.h"
+
+#include <cstring>
+
+#include "storage/tuple.h"
+
+namespace smartssd::check {
+
+ExecutionOutput FromQuery(std::string config,
+                          const engine::QueryResult& result) {
+  return ExecutionOutput{.config = std::move(config),
+                         .schema = result.output_schema,
+                         .rows = result.rows,
+                         .aggs = result.agg_values};
+}
+
+ExecutionOutput FromParallel(std::string config,
+                             const engine::ParallelQueryResult& result) {
+  return ExecutionOutput{.config = std::move(config),
+                         .schema = result.output_schema,
+                         .rows = result.rows,
+                         .aggs = result.agg_values};
+}
+
+std::string RenderRow(const storage::Schema& schema, const std::byte* row) {
+  storage::TupleReader reader(&schema, row);
+  std::string out = "(";
+  for (int col = 0; col < schema.num_columns(); ++col) {
+    if (col > 0) out += ", ";
+    switch (schema.column(col).type) {
+      case storage::ColumnType::kInt32:
+        out += std::to_string(reader.GetInt32(col));
+        break;
+      case storage::ColumnType::kInt64:
+        out += std::to_string(reader.GetInt64(col));
+        break;
+      case storage::ColumnType::kFixedChar:
+        out += "'" + std::string(reader.GetChar(col)) + "'";
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+Status CompareOutputs(const ExecutionOutput& expected,
+                      const ExecutionOutput& actual) {
+  const std::string who =
+      "[" + expected.config + " vs " + actual.config + "] ";
+  if (expected.schema.tuple_size() != actual.schema.tuple_size()) {
+    return InternalError(who + "output schemas differ: " +
+                         std::to_string(expected.schema.tuple_size()) +
+                         " vs " + std::to_string(actual.schema.tuple_size()) +
+                         " bytes per row");
+  }
+  if (expected.aggs != actual.aggs) {
+    for (std::size_t i = 0;
+         i < std::max(expected.aggs.size(), actual.aggs.size()); ++i) {
+      const bool both = i < expected.aggs.size() && i < actual.aggs.size();
+      if (!both || expected.aggs[i] != actual.aggs[i]) {
+        return InternalError(
+            who + "aggregate " + std::to_string(i) + " differs: " +
+            (i < expected.aggs.size() ? std::to_string(expected.aggs[i])
+                                      : "<missing>") +
+            " vs " +
+            (i < actual.aggs.size() ? std::to_string(actual.aggs[i])
+                                    : "<missing>"));
+      }
+    }
+  }
+  if (expected.row_count() != actual.row_count()) {
+    return InternalError(who + "row counts differ: " +
+                         std::to_string(expected.row_count()) + " vs " +
+                         std::to_string(actual.row_count()));
+  }
+  if (expected.rows != actual.rows) {
+    const std::uint32_t width = expected.schema.tuple_size();
+    for (std::uint64_t r = 0; width != 0 && r < expected.row_count(); ++r) {
+      const std::byte* a = expected.rows.data() + r * width;
+      const std::byte* b = actual.rows.data() + r * width;
+      if (std::memcmp(a, b, width) != 0) {
+        return InternalError(who + "row " + std::to_string(r) +
+                             " differs: " + RenderRow(expected.schema, a) +
+                             " vs " + RenderRow(actual.schema, b));
+      }
+    }
+    return InternalError(who + "row bytes differ");
+  }
+  return Status::OK();
+}
+
+}  // namespace smartssd::check

@@ -1,0 +1,199 @@
+#include "check/spec_gen.h"
+
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace smartssd::check {
+
+namespace {
+
+namespace ex = ::smartssd::expr;
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+// Literals at representation and domain edges. kLt/kGt against the
+// int64 extremes are exactly where a naive "literal minus one" range
+// derivation wraps around — the zone-map path must not diverge there.
+constexpr std::int64_t kBoundaryLiterals[] = {
+    kInt64Min,     kInt64Min + 1, -1, 0, 1, kValueDomain - 1,
+    kValueDomain, kInt64Max - 1, kInt64Max,
+};
+
+// A literal inside (or just past) the column's value domain.
+std::int64_t DomainLiteral(Random& rng, int col,
+                           const SpecGenConfig& config) {
+  switch (col) {
+    case 0:
+      return rng.UniformInt(
+          0, static_cast<std::int64_t>(config.tables.outer_rows));
+    case 1:
+      return rng.UniformInt(
+          0, static_cast<std::int64_t>(config.tables.fk_domain()) + 1);
+    case 2:
+      return rng.UniformInt(0, kCatCardinality);
+    case 7:
+      return rng.UniformInt(0, kCat2Cardinality);
+    default:
+      // sel/v64/w64/v32 and the inner payload columns share [0, 2^30).
+      return rng.UniformInt(0, kValueDomain);
+  }
+}
+
+std::int64_t Literal(Random& rng, int col, const SpecGenConfig& config) {
+  if (rng.Bernoulli(config.boundary_literal_probability)) {
+    return kBoundaryLiterals[rng.Uniform(std::size(kBoundaryLiterals))];
+  }
+  return DomainLiteral(rng, col, config);
+}
+
+ex::ExprPtr RandomComparison(Random& rng, const std::vector<int>& cols,
+                             const SpecGenConfig& config) {
+  const int col = cols[rng.Uniform(cols.size())];
+  const auto op = static_cast<ex::CompareOp>(rng.Uniform(6));
+  ex::ExprPtr cmp =
+      ex::Compare(op, ex::Col(col), ex::Lit(Literal(rng, col, config)));
+  if (rng.Bernoulli(config.negate_probability)) cmp = ex::Not(std::move(cmp));
+  return cmp;
+}
+
+// 1..4 comparisons joined by AND (70%) or OR; an AND sometimes gets a
+// contradictory Eq pair appended, which a correct zone map turns into
+// pruning every page while the unpruned reference still scans.
+ex::ExprPtr RandomPredicate(Random& rng, const std::vector<int>& cols,
+                            const SpecGenConfig& config) {
+  const int terms = static_cast<int>(rng.Uniform(4)) + 1;
+  std::vector<ex::ExprPtr> children;
+  for (int i = 0; i < terms; ++i) {
+    children.push_back(RandomComparison(rng, cols, config));
+  }
+  const bool conjunction = terms == 1 || rng.Bernoulli(0.7);
+  if (conjunction && rng.Bernoulli(config.contradiction_probability)) {
+    const int col = cols[rng.Uniform(cols.size())];
+    const std::int64_t v = DomainLiteral(rng, col, config);
+    children.push_back(ex::Eq(ex::Col(col), ex::Lit(v)));
+    children.push_back(ex::Eq(ex::Col(col), ex::Lit(v + 1)));
+  }
+  if (children.size() == 1) return std::move(children[0]);
+  return conjunction ? ex::And(std::move(children))
+                     : ex::Or(std::move(children));
+}
+
+// An aggregate input over the combined row. Arithmetic literals stay
+// tiny so INT64 accumulation over column values < 2^30 cannot overflow.
+ex::ExprPtr RandomAggInput(Random& rng, const std::vector<int>& cols) {
+  const int col = cols[rng.Uniform(cols.size())];
+  const double shape = rng.NextDouble();
+  if (shape < 0.5) return ex::Col(col);
+  if (shape < 0.8) {
+    return ex::Add(ex::Col(col), ex::Lit(rng.UniformInt(0, 99)));
+  }
+  if (shape < 0.9) {
+    return ex::Mul(ex::Col(col), ex::Lit(rng.UniformInt(1, 8)));
+  }
+  const int other = cols[rng.Uniform(cols.size())];
+  return ex::CaseWhen(
+      ex::Lt(ex::Col(col), ex::Lit(rng.UniformInt(0, kValueDomain))),
+      ex::Col(other), ex::Lit(rng.UniformInt(0, 50)));
+}
+
+exec::AggSpec RandomAgg(Random& rng, const std::vector<int>& cols, int i) {
+  exec::AggSpec agg;
+  agg.fn = static_cast<exec::AggSpec::Fn>(rng.Uniform(4));
+  agg.name = "a" + std::to_string(i);
+  if (agg.fn != exec::AggSpec::Fn::kCount || rng.Bernoulli(0.5)) {
+    agg.input = RandomAggInput(rng, cols);
+  }
+  return agg;
+}
+
+}  // namespace
+
+exec::QuerySpec GenerateSpec(std::uint64_t seed, int index,
+                             const SpecGenConfig& config) {
+  // Mix seed and index so spec i never depends on specs 0..i-1.
+  Random rng(seed * 0x9E3779B97F4A7C15ULL +
+             static_cast<std::uint64_t>(index) * 0x1000003ULL + 0xC0FFEE);
+
+  exec::QuerySpec spec;
+  spec.name = "diff_s" + std::to_string(seed) + "_q" + std::to_string(index);
+  spec.table = kOuterTable;
+
+  std::vector<int> outer_cols;
+  for (int c = 0; c < kOuterColumns; ++c) outer_cols.push_back(c);
+  std::vector<int> combined_cols = outer_cols;
+
+  if (rng.Bernoulli(config.join_probability)) {
+    exec::JoinSpec join;
+    join.inner_table = kInnerTable;
+    join.outer_key_col = 1;  // fk
+    join.inner_key_col = 0;  // dk
+    for (int payload = 1; payload < kInnerColumns; ++payload) {
+      if (rng.Bernoulli(0.6)) {
+        combined_cols.push_back(
+            kOuterColumns + static_cast<int>(join.inner_payload_cols.size()));
+        join.inner_payload_cols.push_back(payload);
+      }
+    }
+    spec.join = std::move(join);
+    if (rng.Bernoulli(config.probe_first_probability)) {
+      spec.order = exec::PipelineOrder::kProbeFirst;
+    }
+  }
+
+  // In filter-first order the predicate runs before the probe, so it
+  // may only touch outer columns; probe-first sees the combined row.
+  const std::vector<int>& predicate_cols =
+      spec.order == exec::PipelineOrder::kProbeFirst ? combined_cols
+                                                     : outer_cols;
+  if (rng.Bernoulli(config.predicate_probability)) {
+    spec.predicate = RandomPredicate(rng, predicate_cols, config);
+  }
+
+  switch (rng.Uniform(4)) {
+    case 0: {  // scalar aggregates
+      const int n = static_cast<int>(rng.Uniform(3)) + 1;
+      for (int i = 0; i < n; ++i) {
+        spec.aggregates.push_back(RandomAgg(rng, combined_cols, i));
+      }
+      break;
+    }
+    case 1: {  // grouped aggregates over the low-cardinality columns
+      spec.group_by = rng.Bernoulli(0.5) ? std::vector<int>{2}
+                                         : std::vector<int>{2, 7};
+      const int n = static_cast<int>(rng.Uniform(2)) + 1;
+      for (int i = 0; i < n; ++i) {
+        spec.aggregates.push_back(RandomAgg(rng, combined_cols, i));
+      }
+      break;
+    }
+    case 2: {  // projection
+      const int n = static_cast<int>(rng.Uniform(4)) + 1;
+      for (int i = 0; i < n; ++i) {
+        spec.projection.push_back(
+            combined_cols[rng.Uniform(combined_cols.size())]);
+      }
+      break;
+    }
+    default: {  // top-N ordered by the unique row id (no tie ambiguity)
+      spec.projection.push_back(0);
+      const int extra = static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < extra; ++i) {
+        spec.projection.push_back(
+            combined_cols[rng.Uniform(combined_cols.size())]);
+      }
+      spec.top_n = exec::TopNSpec{
+          .order_col = 0,
+          .descending = rng.Bernoulli(0.5),
+          .limit = static_cast<std::uint32_t>(rng.UniformInt(1, 50))};
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace smartssd::check

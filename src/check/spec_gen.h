@@ -1,0 +1,38 @@
+#ifndef SMARTSSD_CHECK_SPEC_GEN_H_
+#define SMARTSSD_CHECK_SPEC_GEN_H_
+
+// Seeded random QuerySpec generation for the differential harness.
+// GenerateSpec(seed, index) is pure: the same (seed, index) pair always
+// yields the same spec, independent of any other spec generated before
+// it — that is what makes a one-line replay possible.
+//
+// Generated specs are always Bind-valid against the table_gen tables
+// and always parallel-safe: GROUP BY uses the low-cardinality columns,
+// and top-N orders by the unique row-id column (which is always in the
+// projection), so no configuration can disagree merely because of tie
+// order.
+
+#include <cstdint>
+
+#include "check/table_gen.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::check {
+
+struct SpecGenConfig {
+  TableGenConfig tables;
+  // Probabilities, exposed for tests; the defaults are the sweep mix.
+  double join_probability = 0.40;
+  double probe_first_probability = 0.50;
+  double predicate_probability = 0.80;
+  double boundary_literal_probability = 0.15;
+  double contradiction_probability = 0.10;
+  double negate_probability = 0.20;
+};
+
+exec::QuerySpec GenerateSpec(std::uint64_t seed, int index,
+                             const SpecGenConfig& config);
+
+}  // namespace smartssd::check
+
+#endif  // SMARTSSD_CHECK_SPEC_GEN_H_

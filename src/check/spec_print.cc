@@ -1,0 +1,70 @@
+#include "check/spec_print.h"
+
+namespace smartssd::check {
+
+namespace {
+
+const char* AggFnName(exec::AggSpec::Fn fn) {
+  switch (fn) {
+    case exec::AggSpec::Fn::kSum:
+      return "SUM";
+    case exec::AggSpec::Fn::kCount:
+      return "COUNT";
+    case exec::AggSpec::Fn::kMin:
+      return "MIN";
+    case exec::AggSpec::Fn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string IntList(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string SpecToString(const exec::QuerySpec& spec) {
+  std::string out = "table=" + spec.table;
+  out += spec.order == exec::PipelineOrder::kProbeFirst
+             ? " order=probe-first"
+             : " order=filter-first";
+  if (spec.join.has_value()) {
+    out += " join{inner=" + spec.join->inner_table +
+           " outer_key=" + std::to_string(spec.join->outer_key_col) +
+           " inner_key=" + std::to_string(spec.join->inner_key_col) +
+           " payload=" + IntList(spec.join->inner_payload_cols) + "}";
+  }
+  out += " predicate=";
+  out += spec.predicate == nullptr ? "(none)" : spec.predicate->ToString();
+  if (!spec.aggregates.empty()) {
+    out += " aggregates=[";
+    for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+      if (i > 0) out += ", ";
+      const exec::AggSpec& agg = spec.aggregates[i];
+      out += AggFnName(agg.fn);
+      out += "(";
+      out += agg.input == nullptr ? "*" : agg.input->ToString();
+      out += ")";
+    }
+    out += "]";
+  }
+  if (!spec.group_by.empty()) out += " group_by=" + IntList(spec.group_by);
+  if (!spec.projection.empty()) {
+    out += " projection=" + IntList(spec.projection);
+  }
+  if (spec.top_n.has_value()) {
+    out += " top_n{col=" + std::to_string(spec.top_n->order_col);
+    out += spec.top_n->descending ? " desc" : " asc";
+    out += " limit=" + std::to_string(spec.top_n->limit) + "}";
+  }
+  return out;
+}
+
+}  // namespace smartssd::check

@@ -1,0 +1,18 @@
+#ifndef SMARTSSD_CHECK_SPEC_PRINT_H_
+#define SMARTSSD_CHECK_SPEC_PRINT_H_
+
+// Catalog-independent rendering of a QuerySpec, for failure reports and
+// minimized reproducers. Unlike exec::PlanToString this never needs a
+// Bind() to succeed, so it can print specs mid-minimization.
+
+#include <string>
+
+#include "exec/query_spec.h"
+
+namespace smartssd::check {
+
+std::string SpecToString(const exec::QuerySpec& spec);
+
+}  // namespace smartssd::check
+
+#endif  // SMARTSSD_CHECK_SPEC_PRINT_H_

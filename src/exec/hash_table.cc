@@ -40,6 +40,10 @@ std::size_t JoinHashTable::SlotFor(std::int64_t key) const {
 
 Status JoinHashTable::Insert(std::int64_t key,
                              std::span<const std::byte> payload) {
+  if (sealed_) {
+    return FailedPreconditionError(
+        "hash insert after probe: payload pointers would dangle");
+  }
   if (payload.size() != payload_width_) {
     return InvalidArgumentError("hash insert: wrong payload width");
   }
@@ -62,6 +66,7 @@ Status JoinHashTable::Insert(std::int64_t key,
 }
 
 const std::byte* JoinHashTable::Probe(std::int64_t key) const {
+  sealed_ = true;
   std::size_t i = SlotFor(key);
   for (;;) {
     const Slot& slot = slots_[i];

@@ -15,6 +15,12 @@ namespace smartssd::exec {
 // 64-bit integers (the joins are FK -> unique PK equi-joins); each entry
 // carries a fixed-width payload of the inner columns the query needs.
 //
+// Build-then-probe contract: Probe() returns pointers into the payload
+// pool, which an Insert() past the reserved capacity would reallocate
+// and dangle. The first Probe therefore seals the table; a later Insert
+// is rejected with kFailedPrecondition instead of silently invalidating
+// payloads the caller may still hold.
+//
 // The footprint is what the pushdown planner checks against device DRAM:
 // slot array + payload pool.
 class JoinHashTable {
@@ -28,11 +34,16 @@ class JoinHashTable {
   JoinHashTable& operator=(JoinHashTable&&) = default;
 
   // Inserts key -> payload. Duplicate keys are rejected (inner sides of
-  // the paper's joins are primary keys).
+  // the paper's joins are primary keys), as is any insert after the
+  // first Probe (the table is then sealed).
   Status Insert(std::int64_t key, std::span<const std::byte> payload);
 
-  // Returns the payload for `key`, or nullptr if absent.
+  // Returns the payload for `key`, or nullptr if absent. The pointer
+  // stays valid for the life of the table: probing seals it against
+  // further inserts.
   const std::byte* Probe(std::int64_t key) const;
+
+  bool sealed() const { return sealed_; }
 
   std::uint64_t entries() const { return entries_; }
   std::uint32_t payload_width() const { return payload_width_; }
@@ -55,6 +66,8 @@ class JoinHashTable {
   std::size_t SlotFor(std::int64_t key) const;
 
   std::uint32_t payload_width_;
+  // Set by the (const) read path on first Probe; checked by Insert.
+  mutable bool sealed_ = false;
   std::uint64_t entries_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::byte> payloads_;

@@ -90,6 +90,7 @@ bool ZoneMap::TracksColumn(int col) const {
 
 bool ZoneMap::PageMayMatch(std::uint64_t page_index, int col,
                            std::int64_t lo, std::int64_t hi) const {
+  if (lo > hi) return false;  // empty query interval: no value lies in it
   if (!TracksColumn(col) || page_index >= pages_) return true;
   const Range& range =
       ranges_[page_index * static_cast<std::uint64_t>(tracked_columns_) +

@@ -393,15 +393,58 @@ TEST(CircuitBreakerTest, OpensAtThresholdAndProbesAfterCooldown) {
   EXPECT_TRUE(breaker.ShouldBypass(1099));
   // Cooldown elapsed: the next query may probe the device.
   EXPECT_FALSE(breaker.ShouldBypass(1100));
+  EXPECT_EQ(breaker.state(), engine::DeviceCircuitBreaker::State::kHalfOpen);
   // The probe failing re-opens immediately for another cooldown (the
   // breaker never closed, so this is still the same trip).
   breaker.RecordFailure(1100);
   EXPECT_TRUE(breaker.ShouldBypass(1101));
-  // A successful probe closes it for good.
-  breaker.RecordSuccess();
+  // The next probe succeeding closes it for good.
+  EXPECT_FALSE(breaker.ShouldBypass(2100));
+  breaker.RecordSuccess(2150);
   EXPECT_FALSE(breaker.open());
   EXPECT_FALSE(breaker.ShouldBypass(99'999));
   EXPECT_EQ(breaker.total_failures(), 3u);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  engine::CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown = 1000;
+  engine::DeviceCircuitBreaker breaker(config);
+  breaker.RecordFailure(0);
+  EXPECT_TRUE(breaker.open());
+
+  // Cooldown elapsed: the first caller is admitted as the probe...
+  EXPECT_FALSE(breaker.ShouldBypass(1000));
+  EXPECT_TRUE(breaker.probe_in_flight());
+  // ...and every co-running query keeps bypassing while it is in
+  // flight, instead of piling onto a possibly-dead device.
+  EXPECT_TRUE(breaker.ShouldBypass(1001));
+  EXPECT_TRUE(breaker.ShouldBypass(1500));
+
+  // The probe succeeding closes the breaker for everyone.
+  breaker.RecordSuccess(1600);
+  EXPECT_EQ(breaker.state(), engine::DeviceCircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.ShouldBypass(1601));
+}
+
+TEST(CircuitBreakerTest, SilentProbeIsReplacedAfterACooldown) {
+  engine::CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown = 1000;
+  engine::DeviceCircuitBreaker breaker(config);
+  breaker.RecordFailure(0);
+  EXPECT_FALSE(breaker.ShouldBypass(1000));  // probe admitted
+  EXPECT_TRUE(breaker.ShouldBypass(1999));   // still in flight: bypass
+  // The probe never reported an outcome (e.g. its query died of a
+  // non-device error); after a full further cooldown the breaker stops
+  // waiting for it and admits a replacement.
+  EXPECT_FALSE(breaker.ShouldBypass(2000));
+  EXPECT_TRUE(breaker.probe_in_flight());
+  breaker.RecordFailure(2100);
+  EXPECT_EQ(breaker.state(), engine::DeviceCircuitBreaker::State::kOpen);
+  // A failed probe does not count as a fresh trip.
   EXPECT_EQ(breaker.trips(), 1u);
 }
 

@@ -106,6 +106,48 @@ TEST(JoinHashTableTest, RandomizedAgainstReference) {
   }
 }
 
+TEST(JoinHashTableTest, InsertAfterProbeIsRejected) {
+  JoinHashTable table(8, 16);
+  ASSERT_TRUE(table.Insert(1, Payload(100)).ok());
+  EXPECT_FALSE(table.sealed());
+  ASSERT_NE(table.Probe(1), nullptr);
+  EXPECT_TRUE(table.sealed());
+  // Inserting now could grow `payloads_` and dangle the pointer a
+  // caller is still holding from Probe(); the table must refuse.
+  auto status = table.Insert(2, Payload(200));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(table.entries(), 1u);
+  // A missed probe seals too — the caller has still observed layout.
+  JoinHashTable miss_table(8, 16);
+  EXPECT_EQ(miss_table.Probe(42), nullptr);
+  EXPECT_EQ(miss_table.Insert(1, Payload(1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinHashTableTest, PayloadPointersStableOnceSealed) {
+  // Grow far past the reserve so `payloads_` reallocates during build;
+  // pointers handed out after sealing must all stay valid and correct.
+  JoinHashTable table(8, 2);  // deliberately undersized reserve
+  constexpr std::int64_t kEntries = 4096;
+  for (std::int64_t k = 0; k < kEntries; ++k) {
+    ASSERT_TRUE(table.Insert(k, Payload(k * 3)).ok()) << k;
+  }
+  std::vector<const std::byte*> hits;
+  hits.reserve(kEntries);
+  for (std::int64_t k = 0; k < kEntries; ++k) {
+    const std::byte* hit = table.Probe(k);
+    ASSERT_NE(hit, nullptr) << k;
+    hits.push_back(hit);
+  }
+  // Any further insert is refused, so the pointers cannot be moved.
+  EXPECT_FALSE(table.Insert(kEntries, Payload(0)).ok());
+  for (std::int64_t k = 0; k < kEntries; ++k) {
+    std::int64_t v;
+    std::memcpy(&v, hits[static_cast<std::size_t>(k)], 8);
+    EXPECT_EQ(v, k * 3) << k;
+  }
+}
+
 TEST(JoinHashTableTest, MemoryEstimateCoversActualUsage) {
   const std::uint64_t entries = 5000;
   const std::uint64_t estimate = JoinHashTable::EstimateBytes(entries, 8);

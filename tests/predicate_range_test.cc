@@ -1,0 +1,194 @@
+// Boundary-literal behavior of ExtractColumnRanges, the conjunct
+// analysis feeding zone-map pruning on both the host and pushdown
+// paths. The differential fuzzer generates exactly these extremes
+// (int64 min/max comparisons, contradictory equalities), so these
+// deterministic anchors pin down the semantics the fuzzer relies on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "exec/predicate_range.h"
+#include "tpch/synthetic.h"
+
+namespace smartssd {
+namespace {
+
+namespace ex = ::smartssd::expr;
+using exec::ColumnRange;
+using exec::ExtractColumnRanges;
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+ex::ExprPtr And2(ex::ExprPtr a, ex::ExprPtr b) {
+  std::vector<ex::ExprPtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return ex::And(std::move(children));
+}
+
+TEST(PredicateRangeTest, SimpleComparisonsNarrowTheInterval) {
+  auto ranges = ExtractColumnRanges(
+      And2(ex::Lt(ex::Col(0), ex::Lit(10)),
+               ex::Ge(ex::Col(0), ex::Lit(3)))
+          .get());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 3);
+  EXPECT_EQ(ranges[0].hi, 9);  // kLt excludes the literal
+  EXPECT_FALSE(ranges[0].impossible());
+}
+
+TEST(PredicateRangeTest, LtAtInt64MinYieldsEmptyRangeNotUnderflow) {
+  // "col < INT64_MIN" matches nothing; literal-1 would wrap to
+  // INT64_MAX and match everything.
+  auto ranges = ExtractColumnRanges(
+      ex::Compare(ex::CompareOp::kLt, ex::Col(2), ex::Lit(kInt64Min))
+          .get());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_TRUE(ranges[2].impossible());
+}
+
+TEST(PredicateRangeTest, GtAtInt64MaxYieldsEmptyRangeNotOverflow) {
+  auto ranges = ExtractColumnRanges(
+      ex::Compare(ex::CompareOp::kGt, ex::Col(1), ex::Lit(kInt64Max))
+          .get());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_TRUE(ranges[1].impossible());
+}
+
+TEST(PredicateRangeTest, LeGeAtExtremesStayFullRange) {
+  auto le = ExtractColumnRanges(
+      ex::Le(ex::Col(0), ex::Lit(kInt64Max)).get());
+  EXPECT_EQ(le[0].lo, kInt64Min);
+  EXPECT_EQ(le[0].hi, kInt64Max);
+  auto ge = ExtractColumnRanges(
+      ex::Ge(ex::Col(0), ex::Lit(kInt64Min)).get());
+  EXPECT_EQ(ge[0].lo, kInt64Min);
+  EXPECT_EQ(ge[0].hi, kInt64Max);
+}
+
+TEST(PredicateRangeTest, ContradictoryEqConjunctsAreImpossible) {
+  auto ranges = ExtractColumnRanges(
+      And2(ex::Eq(ex::Col(3), ex::Lit(5)),
+               ex::Eq(ex::Col(3), ex::Lit(7)))
+          .get());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_TRUE(ranges[3].impossible());
+}
+
+TEST(PredicateRangeTest, EqThenDisjointLtIsImpossible) {
+  auto ranges = ExtractColumnRanges(
+      And2(ex::Eq(ex::Col(0), ex::Lit(100)),
+               ex::Lt(ex::Col(0), ex::Lit(50)))
+          .get());
+  EXPECT_TRUE(ranges[0].impossible());
+}
+
+TEST(PredicateRangeTest, NeAndNonConjunctShapesAreIgnored) {
+  // Ne does not narrow an interval.
+  auto ne = ExtractColumnRanges(
+      ex::Compare(ex::CompareOp::kNe, ex::Col(0), ex::Lit(5)).get());
+  ASSERT_EQ(ne.size(), 1u);
+  EXPECT_EQ(ne[0].lo, kInt64Min);
+  EXPECT_EQ(ne[0].hi, kInt64Max);
+  // Disjunctions are conservatively skipped entirely.
+  std::vector<ex::ExprPtr> children;
+  children.push_back(ex::Lt(ex::Col(0), ex::Lit(5)));
+  children.push_back(ex::Gt(ex::Col(1), ex::Lit(7)));
+  EXPECT_TRUE(ExtractColumnRanges(ex::Or(std::move(children)).get()).empty());
+  // So is a negated comparison.
+  EXPECT_TRUE(
+      ExtractColumnRanges(ex::Not(ex::Lt(ex::Col(0), ex::Lit(5))).get())
+          .empty());
+  // Null predicate: no ranges.
+  EXPECT_TRUE(ExtractColumnRanges(nullptr).empty());
+}
+
+// End-to-end anchor: a boundary-literal predicate must prune pages via
+// the zone map without changing results — on either execution path.
+class ZoneMapBoundaryTest : public ::testing::Test {
+ protected:
+  ZoneMapBoundaryTest() : db_(engine::DatabaseOptions::PaperSmartSsd()) {
+    // R-style: Col_1 (index 0) is row+1, so every page has a tight
+    // sorted [min, max] zone and the ranges below prune precisely.
+    SMARTSSD_CHECK(tpch::LoadSyntheticR(db_, "S", 8, 4'000,
+                                        storage::PageLayout::kNsm)
+                       .ok());
+    SMARTSSD_CHECK(db_.BuildZoneMap("S").ok());
+    db_.ResetForColdRun();
+  }
+
+  Result<engine::QueryResult> Run(const exec::QuerySpec& spec,
+                                  engine::ExecutionTarget target) {
+    db_.ResetForColdRun();
+    engine::QueryExecutor executor(&db_);
+    return executor.Execute(spec, target);
+  }
+
+  static exec::QuerySpec CountWhere(ex::ExprPtr predicate) {
+    exec::QuerySpec spec;
+    spec.name = "boundary";
+    spec.table = "S";
+    spec.predicate = std::move(predicate);
+    exec::AggSpec agg;
+    agg.fn = exec::AggSpec::Fn::kCount;
+    agg.name = "n";
+    spec.aggregates.push_back(std::move(agg));
+    return spec;
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(ZoneMapBoundaryTest, ImpossibleRangePrunesEveryPageBothPaths) {
+  // Col_1 is row+1, so the zone map tracks tight sorted ranges; a
+  // contradictory conjunction must skip every page and count zero.
+  const exec::QuerySpec spec = CountWhere(
+      And2(ex::Eq(ex::Col(0), ex::Lit(5)),
+               ex::Eq(ex::Col(0), ex::Lit(7))));
+  auto host = Run(spec, engine::ExecutionTarget::kHost);
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host->agg_values, std::vector<std::int64_t>{0});
+  EXPECT_EQ(host->stats.pages_read, 0u);
+  EXPECT_GT(host->stats.pages_skipped, 0u);
+
+  auto smart = Run(spec, engine::ExecutionTarget::kSmartSsd);
+  ASSERT_TRUE(smart.ok());
+  EXPECT_EQ(smart->agg_values, host->agg_values);
+  EXPECT_EQ(smart->stats.pages_skipped, host->stats.pages_skipped);
+}
+
+TEST_F(ZoneMapBoundaryTest, Int64ExtremeLiteralsAgreeAcrossPaths) {
+  struct Case {
+    ex::CompareOp op;
+    std::int64_t literal;
+    std::int64_t expect_count;  // of 4000 rows, Col_1 in [1, 4000]
+  };
+  const Case cases[] = {
+      {ex::CompareOp::kLt, kInt64Min, 0},
+      {ex::CompareOp::kLe, kInt64Min, 0},
+      {ex::CompareOp::kGt, kInt64Max, 0},
+      {ex::CompareOp::kGe, kInt64Max, 0},
+      {ex::CompareOp::kGt, kInt64Min, 4000},
+      {ex::CompareOp::kLt, kInt64Max, 4000},
+      {ex::CompareOp::kLe, 0, 0},
+      {ex::CompareOp::kGe, 1, 4000},
+  };
+  for (const Case& c : cases) {
+    const exec::QuerySpec spec =
+        CountWhere(ex::Compare(c.op, ex::Col(0), ex::Lit(c.literal)));
+    auto host = Run(spec, engine::ExecutionTarget::kHost);
+    ASSERT_TRUE(host.ok());
+    auto smart = Run(spec, engine::ExecutionTarget::kSmartSsd);
+    ASSERT_TRUE(smart.ok());
+    EXPECT_EQ(host->agg_values, std::vector<std::int64_t>{c.expect_count})
+        << "op=" << static_cast<int>(c.op) << " literal=" << c.literal;
+    EXPECT_EQ(smart->agg_values, host->agg_values);
+  }
+}
+
+}  // namespace
+}  // namespace smartssd
