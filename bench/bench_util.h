@@ -8,7 +8,9 @@
 // time scales linearly with data volume, so ratios are scale-invariant
 // and an SF-100 projection is printed alongside.
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -94,6 +96,34 @@ inline std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+// Wall-clock (steady_clock) measurement for benches that time the
+// simulator's own kernels rather than virtual device time. Runs `fn`
+// once to warm caches, then `repeats` more times and keeps the fastest
+// run — the usual way to strip scheduler noise from a throughput
+// number.
+struct WallMeasurement {
+  double seconds = 0;        // best single run
+  double rows_per_sec = 0;   // rows / seconds
+};
+
+template <typename Fn>
+WallMeasurement MeasureWall(std::uint64_t rows, int repeats, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(Clock::now() - start)
+                         .count();
+    if (r == 0 || s < best) best = s;
+  }
+  WallMeasurement m;
+  m.seconds = best;
+  m.rows_per_sec = best > 0 ? static_cast<double>(rows) / best : 0;
+  return m;
+}
+
 // Machine-readable bench output, enabled by a `--json=<path>` argument.
 // Write() emits a JSON array with one object per measured configuration:
 //   {"bench": ..., "config": ..., "virtual_seconds": ...,
@@ -122,7 +152,18 @@ class JsonReporter {
            double paper_ratio, double measured_ratio) {
     if (!enabled()) return;
     rows_.push_back(Row{std::string(config), virtual_seconds, paper_ratio,
-                        measured_ratio});
+                        measured_ratio, NAN});
+  }
+
+  // Wall-clock variant: also records rows/sec. The extra field is only
+  // serialized for rows added through this overload, so virtual-time
+  // benches keep their existing JSON schema.
+  void AddWall(std::string_view config, double wall_seconds,
+               double paper_ratio, double measured_ratio,
+               double rows_per_sec) {
+    if (!enabled()) return;
+    rows_.push_back(Row{std::string(config), wall_seconds, paper_ratio,
+                        measured_ratio, rows_per_sec});
   }
 
   void Write() {
@@ -143,6 +184,9 @@ class JsonReporter {
       WriteRatio(f, row.paper_ratio);
       std::fprintf(f, ",\"measured_ratio\":");
       WriteRatio(f, row.measured_ratio);
+      if (!std::isnan(row.rows_per_sec)) {
+        std::fprintf(f, ",\"rows_per_sec\":%.9g", row.rows_per_sec);
+      }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
@@ -156,6 +200,7 @@ class JsonReporter {
     double virtual_seconds;
     double paper_ratio;
     double measured_ratio;
+    double rows_per_sec;  // NAN = virtual-time row, field omitted
   };
 
   static void WriteRatio(std::FILE* f, double v) {

@@ -1,0 +1,217 @@
+// Wall-clock harness for the execution kernel rewrite: runs the same
+// scan/aggregate pipeline through the scalar (interpreted,
+// tuple-at-a-time) and vectorized (batch, selection-vector) kernels
+// over identical in-memory pages, and reports steady-clock rows/sec for
+// each. Unlike the fig*/table* benches this measures the *simulator's
+// own* CPU efficiency — virtual-time numbers are identical across
+// kernels by construction (the differential harness proves it), so the
+// only thing at stake here is how fast the host machine grinds pages.
+//
+//   wall_kernels [--json=BENCH_wall.json]
+//
+// Sweeps selectivity at fixed width, and tuple width at fixed
+// selectivity, over both page layouts. Each JSON row carries
+// rows_per_sec; the vectorized rows carry measured_ratio = speedup over
+// the scalar kernel on the same configuration.
+
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "exec/page_processor.h"
+#include "exec/query_spec.h"
+#include "storage/catalog.h"
+#include "storage/nsm_page.h"
+#include "storage/pax_page.h"
+#include "storage/tuple.h"
+#include "tpch/synthetic.h"
+
+using namespace smartssd;
+
+namespace {
+
+namespace ex = ::smartssd::expr;
+using storage::PageLayout;
+
+constexpr std::uint32_t kPageSize = 8192;
+constexpr int kRows = 400000;
+constexpr int kRepeats = 3;
+constexpr std::int32_t kValueRange = 1 << 30;
+
+// An in-memory table: page images plus the catalog entry describing
+// them. No device underneath — the pages are fed to the processor
+// directly, so flash never shows up in the timing.
+struct MemTable {
+  storage::TableInfo info;
+  std::vector<std::vector<std::byte>> pages;
+};
+
+MemTable BuildTable(int columns, PageLayout layout, int rows) {
+  const storage::Schema schema = tpch::SyntheticSchema(columns);
+  MemTable table;
+  std::vector<std::byte> tuple(schema.tuple_size());
+  storage::NsmPageBuilder nsm(&schema, kPageSize);
+  storage::PaxPageBuilder pax(&schema, kPageSize);
+  Random rng(42);
+  auto seal = [&]() {
+    if (layout == PageLayout::kNsm) {
+      table.pages.emplace_back(nsm.image().begin(), nsm.image().end());
+      nsm.Reset();
+    } else {
+      table.pages.emplace_back(pax.image().begin(), pax.image().end());
+      pax.Reset();
+    }
+  };
+  for (int row = 0; row < rows; ++row) {
+    storage::TupleWriter w(&schema, tuple);
+    for (int c = 0; c < columns; ++c) {
+      w.SetInt32(c, static_cast<std::int32_t>(rng.Uniform(kValueRange)));
+    }
+    const bool ok = layout == PageLayout::kNsm ? nsm.Append(tuple)
+                                               : pax.Append(tuple);
+    if (!ok) {
+      seal();
+      SMARTSSD_CHECK(layout == PageLayout::kNsm ? nsm.Append(tuple)
+                                                : pax.Append(tuple));
+    }
+  }
+  if ((layout == PageLayout::kNsm && nsm.tuple_count() > 0) ||
+      (layout == PageLayout::kPax && pax.tuple_count() > 0)) {
+    seal();
+  }
+  table.info = storage::TableInfo{
+      .name = "t",
+      .schema = schema,
+      .layout = layout,
+      .first_lpn = 0,
+      .page_count = table.pages.size(),
+      .tuple_count = static_cast<std::uint64_t>(rows),
+      .tuples_per_page = 0};
+  return table;
+}
+
+// SELECT SUM(col2) FROM t WHERE col1 < threshold — the scan-aggregate
+// shape of the paper's Q6-style workloads.
+exec::QuerySpec ScanAggSpec(double selectivity) {
+  exec::QuerySpec spec;
+  spec.name = "wall-scan-agg";
+  spec.table = "t";
+  spec.predicate = ex::Lt(
+      ex::Col(1),
+      ex::Lit(static_cast<std::int64_t>(selectivity * kValueRange)));
+  spec.aggregates.push_back(
+      {exec::AggSpec::Fn::kSum, ex::Col(2), "sum_v"});
+  return spec;
+}
+
+struct KernelRun {
+  double seconds = 0;
+  double rows_per_sec = 0;
+  std::vector<std::int64_t> aggs;
+  exec::OpCounts counts;
+};
+
+KernelRun RunKernel(const exec::BoundQuery& bound, const MemTable& table,
+                    exec::KernelMode mode) {
+  KernelRun run;
+  auto pass = [&]() {
+    exec::PageProcessor processor(&bound, nullptr, mode);
+    if (mode == exec::KernelMode::kVectorized) {
+      // A silent fallback would time the scalar kernel twice and report
+      // a bogus 1.0x — refuse to measure it.
+      SMARTSSD_CHECK(processor.kernel_mode() == exec::KernelMode::kVectorized);
+    }
+    std::vector<std::byte> out;
+    exec::OpCounts counts;
+    for (const auto& page : table.pages) {
+      bench::Check(processor.ProcessPage(page, &counts, &out),
+                   "ProcessPage");
+    }
+    bench::Check(processor.Finish(&counts, &out), "Finish");
+    run.aggs = processor.agg_state();
+    run.counts = counts;
+  };
+  const bench::WallMeasurement m = bench::MeasureWall(
+      static_cast<std::uint64_t>(kRows), kRepeats, pass);
+  run.seconds = m.seconds;
+  run.rows_per_sec = m.rows_per_sec;
+  return run;
+}
+
+struct Config {
+  std::string name;
+  double selectivity;
+  int columns;
+  PageLayout layout;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json("wall_kernels", argc, argv);
+  bench::PrintHeader(
+      "Wall-clock kernel throughput: scalar vs vectorized",
+      "execution-kernel rewrite; simulator efficiency, not device time");
+
+  std::vector<Config> configs;
+  for (const double sel : {0.01, 0.10, 0.50, 0.90}) {
+    for (const PageLayout layout : {PageLayout::kNsm, PageLayout::kPax}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "scan-agg sel=%.0f%% w=8 %s",
+                    sel * 100, layout == PageLayout::kNsm ? "nsm" : "pax");
+      configs.push_back({name, sel, 8, layout});
+    }
+  }
+  for (const int columns : {4, 32}) {
+    for (const PageLayout layout : {PageLayout::kNsm, PageLayout::kPax}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "scan-agg sel=10%% w=%d %s",
+                    columns, layout == PageLayout::kNsm ? "nsm" : "pax");
+      configs.push_back({name, 0.10, columns, layout});
+    }
+  }
+
+  std::printf("%-28s %14s %14s %8s\n", "config", "scalar rows/s",
+              "vector rows/s", "speedup");
+  bench::PrintRule();
+
+  for (const Config& config : configs) {
+    const MemTable table =
+        BuildTable(config.columns, config.layout, kRows);
+    storage::Catalog catalog(100000);
+    bench::Check(catalog.AddTable(table.info), "AddTable");
+    const exec::QuerySpec spec = ScanAggSpec(config.selectivity);
+    auto bound = exec::Bind(spec, catalog);
+    bench::Check(bound.status(), "Bind");
+
+    const KernelRun scalar =
+        RunKernel(*bound, table, exec::KernelMode::kScalar);
+    const KernelRun vectorized =
+        RunKernel(*bound, table, exec::KernelMode::kVectorized);
+
+    // The two kernels must agree bit for bit — a fast wrong answer is
+    // not a speedup.
+    SMARTSSD_CHECK(scalar.aggs == vectorized.aggs);
+    SMARTSSD_CHECK(scalar.counts == vectorized.counts);
+
+    const double speedup = scalar.rows_per_sec > 0
+                               ? vectorized.rows_per_sec / scalar.rows_per_sec
+                               : 0;
+    std::printf("%-28s %14.3g %14.3g %7.2fx\n", config.name.c_str(),
+                scalar.rows_per_sec, vectorized.rows_per_sec, speedup);
+    json.AddWall(config.name + " scalar", scalar.seconds, NAN, NAN,
+                 scalar.rows_per_sec);
+    json.AddWall(config.name + " vectorized", vectorized.seconds, NAN,
+                 speedup, vectorized.rows_per_sec);
+  }
+
+  bench::PrintRule();
+  std::printf("rows per config: %d; best of %d repeats after warmup\n",
+              kRows, kRepeats);
+  json.Write();
+  return 0;
+}

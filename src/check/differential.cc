@@ -61,11 +61,25 @@ class DifferentialRunner {
     DatabaseOptions base = DatabaseOptions::PaperSmartSsd();
     base.buffer_pool_pages = options.buffer_pool_pages;
 
-    db_ref_ = std::make_unique<Database>(base);
+    // The ground truth runs the interpreted scalar kernel while every
+    // other config runs the default vectorized one, so each of the 11
+    // comparisons is also a scalar-vs-vectorized differential (results
+    // AND OpCounts must match byte for byte).
+    DatabaseOptions ref = base;
+    ref.kernel = exec::KernelMode::kScalar;
+
+    db_ref_ = std::make_unique<Database>(ref);
+    // Identical to the scalar reference except for the kernel: the one
+    // config pair that is count-comparable (same pages, no pruning), so
+    // it proves the vectorized kernel charges the exact same OpCounts.
+    db_ref_vec_ = std::make_unique<Database>(base);
     db_nsm_ = std::make_unique<Database>(base);
     db_pax_ = std::make_unique<Database>(base);
     SMARTSSD_CHECK(
         LoadTables(*db_ref_, gen_.tables, storage::PageLayout::kNsm).ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_ref_vec_, gen_.tables, storage::PageLayout::kNsm)
+            .ok());
     SMARTSSD_CHECK(
         LoadTables(*db_nsm_, gen_.tables, storage::PageLayout::kNsm).ok());
     SMARTSSD_CHECK(
@@ -94,6 +108,7 @@ class DifferentialRunner {
     }
 
     db_ref_->AttachTracer(&tracer_ref_, "ref-dev", "ref-host");
+    db_ref_vec_->AttachTracer(&tracer_ref_vec_, "refv-dev", "refv-host");
     db_nsm_->AttachTracer(&tracer_nsm_, "nsm-dev", "nsm-host");
     db_pax_->AttachTracer(&tracer_pax_, "pax-dev", "pax-host");
   }
@@ -110,6 +125,28 @@ class DifferentialRunner {
     if (!ref.ok()) {
       return std::make_pair(std::string("ref-nsm-host"),
                             ref.status().ToString());
+    }
+
+    // The vectorized twin of the reference: same unpruned NSM database,
+    // batch kernel. Results AND operation counts must match the scalar
+    // interpreter exactly — this is the count-identity proof; the other
+    // configs legitimately differ in pages/tuples (pruning, layout).
+    {
+      auto vec = RunSingle(*db_ref_vec_, tracer_ref_vec_, spec,
+                           ExecutionTarget::kHost, "ref-nsm-host-vec",
+                           nullptr);
+      if (!vec.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec"),
+                              vec.status().ToString());
+      }
+      if (Status diff = CompareOutputs(*ref, *vec); !diff.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec"),
+                              diff.ToString());
+      }
+      if (Status diff = CompareCounts(*ref, *vec); !diff.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec"),
+                              diff.ToString());
+      }
     }
 
     struct SingleConfig {
@@ -322,12 +359,14 @@ class DifferentialRunner {
   HarnessOptions options_;
   SpecGenConfig gen_;
   std::unique_ptr<Database> db_ref_;
+  std::unique_ptr<Database> db_ref_vec_;
   std::unique_ptr<Database> db_nsm_;
   std::unique_ptr<Database> db_pax_;
   std::unique_ptr<ParallelDatabase> par1_;
   std::unique_ptr<ParallelDatabase> par2_;
   std::unique_ptr<ParallelDatabase> par4_;
   obs::Tracer tracer_ref_;
+  obs::Tracer tracer_ref_vec_;
   obs::Tracer tracer_nsm_;
   obs::Tracer tracer_pax_;
   int executions_ = 0;

@@ -11,7 +11,8 @@ ExecutionOutput FromQuery(std::string config,
   return ExecutionOutput{.config = std::move(config),
                          .schema = result.output_schema,
                          .rows = result.rows,
-                         .aggs = result.agg_values};
+                         .aggs = result.agg_values,
+                         .counts = result.stats.counts};
 }
 
 ExecutionOutput FromParallel(std::string config,
@@ -87,6 +88,40 @@ Status CompareOutputs(const ExecutionOutput& expected,
     return InternalError(who + "row bytes differ");
   }
   return Status::OK();
+}
+
+Status CompareCounts(const ExecutionOutput& expected,
+                     const ExecutionOutput& actual) {
+  if (expected.counts == actual.counts) return Status::OK();
+  const std::string who =
+      "[" + expected.config + " vs " + actual.config + "] ";
+  const auto field = [&](const char* name, std::uint64_t a,
+                         std::uint64_t b) -> std::string {
+    if (a == b) return "";
+    return who + "op count '" + name + "' differs: " + std::to_string(a) +
+           " vs " + std::to_string(b);
+  };
+  const exec::OpCounts& e = expected.counts;
+  const exec::OpCounts& o = actual.counts;
+  for (const std::string& msg : {
+           field("pages", e.pages, o.pages),
+           field("tuples", e.tuples, o.tuples),
+           field("probes", e.probes, o.probes),
+           field("hash_inserts", e.hash_inserts, o.hash_inserts),
+           field("output_tuples", e.output_tuples, o.output_tuples),
+           field("output_bytes", e.output_bytes, o.output_bytes),
+           field("agg_updates", e.agg_updates, o.agg_updates),
+           field("group_updates", e.group_updates, o.group_updates),
+           field("topn_updates", e.topn_updates, o.topn_updates),
+           field("comparisons", e.eval.comparisons, o.eval.comparisons),
+           field("arithmetic", e.eval.arithmetic, o.eval.arithmetic),
+           field("column_reads", e.eval.column_reads, o.eval.column_reads),
+           field("like_evals", e.eval.like_evals, o.eval.like_evals),
+           field("case_evals", e.eval.case_evals, o.eval.case_evals),
+       }) {
+    if (!msg.empty()) return InternalError(msg);
+  }
+  return InternalError(who + "op counts differ");
 }
 
 }  // namespace smartssd::check

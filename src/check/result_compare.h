@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "engine/executor.h"
 #include "engine/parallel.h"
+#include "exec/cost_model.h"
 #include "storage/schema.h"
 
 namespace smartssd::check {
@@ -26,6 +27,11 @@ struct ExecutionOutput {
   storage::Schema schema;
   std::vector<std::byte> rows;
   std::vector<std::int64_t> aggs;
+  // Operation counts drive the cost model, so kernel rewrites must keep
+  // them stable too. Only populated by FromQuery (parallel runs shard
+  // pages across workers, so per-worker counts are not comparable to a
+  // single-database run).
+  exec::OpCounts counts;
 
   std::uint64_t row_count() const {
     const std::uint32_t width = schema.tuple_size();
@@ -46,6 +52,13 @@ std::string RenderRow(const storage::Schema& schema, const std::byte* row);
 // first point of divergence.
 Status CompareOutputs(const ExecutionOutput& expected,
                       const ExecutionOutput& actual);
+
+// OK iff the two executions charged identical operation counts. Only
+// meaningful between configurations that see the same pages and tuples
+// (same layout, no pruning differences) — e.g. the scalar and
+// vectorized kernels over the same unpruned database.
+Status CompareCounts(const ExecutionOutput& expected,
+                     const ExecutionOutput& actual);
 
 }  // namespace smartssd::check
 

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "engine/buffer_pool.h"
+#include "exec/kernel_mode.h"
 #include "engine/circuit_breaker.h"
 #include "engine/host_machine.h"
 #include "engine/metrics.h"
@@ -45,6 +46,11 @@ struct DatabaseOptions {
   std::uint64_t buffer_pool_pages = 4096;
   smart::PollingPolicy polling;
   CircuitBreakerConfig breaker;
+  // Page kernel for both the host path and the pushdown program. The
+  // two kernels are byte-identical in results and OpCounts (so virtual
+  // time never depends on this); kScalar exists as the semantic
+  // reference for differential testing.
+  exec::KernelMode kernel = exec::KernelMode::kVectorized;
 
   // The paper's three storage configurations (Section 4.1.2), identical
   // host, differing only in the device behind the HBA.

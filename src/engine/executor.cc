@@ -158,7 +158,8 @@ Result<QueryResult> QueryExecutor::ExecuteOnHost(
   }
 
   exec::PageProcessor processor(
-      &bound, hash_table.has_value() ? &*hash_table : nullptr);
+      &bound, hash_table.has_value() ? &*hash_table : nullptr,
+      db_->options().kernel);
   const exec::CpuCostParams host_params =
       exec::HostCostParams(bound.outer->layout);
   const std::uint64_t hash_entries =
@@ -289,7 +290,8 @@ Result<QueryResult> QueryExecutor::ExecuteOnDevice(
   obs::ScopedSpan query_span(tracer, db_->executor_track(),
                              bound.spec->name, "query", start);
 
-  exec::PushdownProgram program(&bound, db_->zone_map(bound.spec->table));
+  exec::PushdownProgram program(&bound, db_->zone_map(bound.spec->table),
+                                db_->options().kernel);
   SMARTSSD_ASSIGN_OR_RETURN(
       smart::SessionStats session,
       db_->runtime()->RunSession(program, db_->options().polling, start,

@@ -36,6 +36,8 @@ struct OpCounts {
     eval += other.eval;
     return *this;
   }
+
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
 };
 
 // Cycles charged per counted operation on one processor/layout pair.

@@ -1,0 +1,72 @@
+#include "exec/group_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace smartssd::exec {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
+void GroupTable::Init(std::uint32_t key_width, std::uint32_t num_states) {
+  SMARTSSD_CHECK_GT(key_width, 0u);
+  key_width_ = key_width;
+  num_states_ = num_states;
+  slots_.assign(kInitialSlots, 0);
+}
+
+std::uint64_t GroupTable::Hash(const std::byte* key) const {
+  // FNV-1a with a Fibonacci finalizer: the keys are short (a few
+  // fixed-width columns), so byte-at-a-time is fine.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint32_t i = 0; i < key_width_; ++i) {
+    h ^= static_cast<std::uint64_t>(key[i]);
+    h *= 0x100000001B3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+void GroupTable::Grow() {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  const std::size_t mask = slots_.size() - 1;
+  for (const std::uint32_t entry : old) {
+    if (entry == 0) continue;
+    std::size_t i = Hash(key(entry - 1)) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = entry;
+  }
+}
+
+std::uint32_t GroupTable::FindOrInsert(const std::byte* key_bytes,
+                                       const std::int64_t* init_states) {
+  SMARTSSD_CHECK_GT(key_width_, 0u);  // Init() must have run
+  if ((count_ + 1) * 2 > slots_.size()) Grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Hash(key_bytes) & mask;
+  while (slots_[i] != 0) {
+    const std::uint32_t group = slots_[i] - 1;
+    if (std::memcmp(key(group), key_bytes, key_width_) == 0) return group;
+    i = (i + 1) & mask;
+  }
+  const std::uint32_t group = count_++;
+  keys_.insert(keys_.end(), key_bytes, key_bytes + key_width_);
+  states_.insert(states_.end(), init_states, init_states + num_states_);
+  slots_[i] = group + 1;
+  return group;
+}
+
+void GroupTable::SortedGroups(std::vector<std::uint32_t>* out) const {
+  out->resize(count_);
+  for (std::uint32_t g = 0; g < count_; ++g) (*out)[g] = g;
+  std::sort(out->begin(), out->end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return std::memcmp(key(a), key(b), key_width_) < 0;
+            });
+}
+
+}  // namespace smartssd::exec

@@ -1,0 +1,18 @@
+#ifndef SMARTSSD_EXEC_KERNEL_MODE_H_
+#define SMARTSSD_EXEC_KERNEL_MODE_H_
+
+namespace smartssd::exec {
+
+// Which page kernel PageProcessor runs. Both produce byte-identical
+// results and byte-identical OpCounts — the vectorized kernel only
+// changes wall-clock speed, never virtual time. Queries the batch
+// compiler cannot express fall back to kScalar regardless of the
+// requested mode.
+enum class KernelMode {
+  kScalar,      // interpreted row-at-a-time (the semantic reference)
+  kVectorized,  // compiled column-at-a-time over selection vectors
+};
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_KERNEL_MODE_H_

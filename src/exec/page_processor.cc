@@ -75,29 +75,109 @@ std::vector<std::int64_t> AggInitStates(const QuerySpec& spec) {
   return states;
 }
 
+// Grows `out` for `extra` more bytes without forfeiting geometric
+// growth: reserving the exact per-page need each time would make every
+// page's append a full copy (quadratic over the scan).
+void EnsureOutCapacity(std::vector<std::byte>* out, std::size_t extra) {
+  const std::size_t needed = out->size() + extra;
+  if (needed <= out->capacity()) return;
+  out->reserve(std::max(needed, out->capacity() * 2));
+}
+
+// Reads the integer value of a batch column lane (INT32 or INT64).
+std::int64_t LoadIntLane(const expr::BatchColumn& col, std::uint32_t row) {
+  const std::byte* p = col.at(row);
+  if (col.width == 4) {
+    std::int32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
 }  // namespace
 
 PageProcessor::PageProcessor(const BoundQuery* bound,
-                             const JoinHashTable* hash_table)
+                             const JoinHashTable* hash_table,
+                             KernelMode mode)
     : bound_(bound), hash_table_(hash_table) {
   SMARTSSD_CHECK(bound != nullptr);
   SMARTSSD_CHECK_EQ(bound->spec->join.has_value(), hash_table != nullptr);
   const QuerySpec& spec = *bound->spec;
-  agg_state_ = AggInitStates(spec);
+  agg_init_ = AggInitStates(spec);
+  agg_state_ = agg_init_;
   if (spec.aggregates.empty()) {
     for (const int col : spec.projection) {
       output_row_width_ += bound->combined_schema.column(col).width;
     }
   } else {
+    std::uint32_t key_width = 0;
     for (const int col : spec.group_by) {
-      output_row_width_ += bound->combined_schema.column(col).width;
+      key_width += bound->combined_schema.column(col).width;
     }
+    output_row_width_ = key_width;
     output_row_width_ +=
         8u * static_cast<std::uint32_t>(spec.aggregates.size());
+    if (!spec.group_by.empty()) {
+      group_table_.Init(key_width,
+                        static_cast<std::uint32_t>(spec.aggregates.size()));
+    }
   }
   if (spec.top_n.has_value()) {
     top_n_.reserve(spec.top_n->limit + 1);
   }
+
+  // Column metadata for the batch kernel (the per-page part — base /
+  // row_ptrs — is filled when a page arrives).
+  const int combined_cols = bound->combined_schema.num_columns();
+  const int outer_cols = bound->outer_columns();
+  batch_columns_.resize(static_cast<std::size_t>(combined_cols));
+  for (int c = 0; c < combined_cols; ++c) {
+    const storage::Column& col = bound->combined_schema.column(c);
+    batch_columns_[static_cast<std::size_t>(c)].type = col.type;
+    batch_columns_[static_cast<std::size_t>(c)].width = col.width;
+    if (c >= outer_cols) {
+      batch_columns_[static_cast<std::size_t>(c)].offset =
+          bound->payload_offsets[static_cast<std::size_t>(c - outer_cols)];
+    }
+  }
+
+  if (mode == KernelMode::kVectorized && CompileKernels()) {
+    mode_ = KernelMode::kVectorized;
+  } else {
+    pred_compiled_.reset();
+    agg_compiled_.clear();
+  }
+}
+
+bool PageProcessor::CompileKernels() {
+  const QuerySpec& spec = *bound_->spec;
+  const storage::Schema& schema = bound_->combined_schema;
+  if (spec.predicate != nullptr) {
+    auto compiled = expr::CompiledExpr::Compile(*spec.predicate, schema);
+    if (!compiled.ok() ||
+        compiled->result_type() != expr::SlotType::kBool) {
+      return false;
+    }
+    pred_compiled_.emplace(std::move(compiled).value());
+  }
+  for (const AggSpec& agg : spec.aggregates) {
+    if (agg.input == nullptr) {
+      agg_compiled_.emplace_back();  // COUNT(*): nothing to evaluate
+      continue;
+    }
+    auto compiled = expr::CompiledExpr::Compile(*agg.input, schema);
+    // The scalar path funnels aggregate inputs through Value::AsInt;
+    // only statically-INT64 inputs are expressible in batch form.
+    if (!compiled.ok() ||
+        compiled->result_type() != expr::SlotType::kI64) {
+      return false;
+    }
+    agg_compiled_.emplace_back(std::move(compiled).value());
+  }
+  return true;
 }
 
 void PageProcessor::AppendColumnBytes(
@@ -122,30 +202,30 @@ void PageProcessor::AppendColumnBytes(
 }
 
 Status PageProcessor::UpdateAggregates(const expr::RowView& combined_view,
-                                       std::vector<std::int64_t>* states,
+                                       std::int64_t* states,
                                        OpCounts* counts) {
   const QuerySpec& spec = *bound_->spec;
   for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
     const AggSpec& agg = spec.aggregates[i];
     ++counts->agg_updates;
     if (agg.fn == AggSpec::Fn::kCount && agg.input == nullptr) {
-      ++(*states)[i];
+      ++states[i];
       continue;
     }
     const std::int64_t v =
         agg.input->Evaluate(combined_view, &counts->eval).AsInt();
     switch (agg.fn) {
       case AggSpec::Fn::kSum:
-        (*states)[i] += v;
+        states[i] += v;
         break;
       case AggSpec::Fn::kCount:
-        ++(*states)[i];
+        ++states[i];
         break;
       case AggSpec::Fn::kMin:
-        (*states)[i] = std::min((*states)[i], v);
+        states[i] = std::min(states[i], v);
         break;
       case AggSpec::Fn::kMax:
-        (*states)[i] = std::max((*states)[i], v);
+        states[i] = std::max(states[i], v);
         break;
     }
   }
@@ -213,24 +293,16 @@ Status PageProcessor::HandleTuple(
 
   if (!spec.aggregates.empty()) {
     if (spec.group_by.empty()) {
-      return UpdateAggregates(combined, &agg_state_, counts);
+      return UpdateAggregates(combined, agg_state_.data(), counts);
     }
-    // Grouped aggregation: key bytes -> running states.
-    group_key_scratch_.clear();
-    {
-      row_scratch_.clear();
-      AppendColumnBytes(spec.group_by, outer_col_bytes, payload, counts,
-                        &row_scratch_);
-      group_key_scratch_.assign(
-          reinterpret_cast<const char*>(row_scratch_.data()),
-          row_scratch_.size());
-    }
+    // Grouped aggregation: raw key bytes -> running states.
+    row_scratch_.clear();
+    AppendColumnBytes(spec.group_by, outer_col_bytes, payload, counts,
+                      &row_scratch_);
     ++counts->group_updates;
-    auto it = groups_.find(group_key_scratch_);
-    if (it == groups_.end()) {
-      it = groups_.emplace(group_key_scratch_, AggInitStates(spec)).first;
-    }
-    return UpdateAggregates(combined, &it->second, counts);
+    const std::uint32_t group =
+        group_table_.FindOrInsert(row_scratch_.data(), agg_init_.data());
+    return UpdateAggregates(combined, group_table_.states(group), counts);
   }
 
   // Projection path: serialize the output row.
@@ -255,10 +327,27 @@ Status PageProcessor::ProcessPage(std::span<const std::byte> page,
                                   OpCounts* counts,
                                   std::vector<std::byte>* out) {
   ++counts->pages;
+  if (mode_ == KernelMode::kVectorized) {
+    return ProcessPageVectorized(page, counts, out);
+  }
+  return ProcessPageScalar(page, counts, out);
+}
+
+Status PageProcessor::ProcessPageScalar(std::span<const std::byte> page,
+                                        OpCounts* counts,
+                                        std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  const bool row_output =
+      spec.aggregates.empty() && !spec.top_n.has_value();
   const storage::Schema& schema = bound_->outer->schema;
   if (bound_->outer->layout == storage::PageLayout::kNsm) {
     SMARTSSD_ASSIGN_OR_RETURN(const storage::NsmPageReader reader,
                               storage::NsmPageReader::Open(&schema, page));
+    if (row_output) {
+      EnsureOutCapacity(out, static_cast<std::size_t>(
+                                 reader.tuple_count()) *
+                                 output_row_width_);
+    }
     for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
       ++counts->tuples;
       const std::byte* tuple = reader.tuple(i);
@@ -272,6 +361,10 @@ Status PageProcessor::ProcessPage(std::span<const std::byte> page,
   }
   SMARTSSD_ASSIGN_OR_RETURN(const storage::PaxPageReader reader,
                             storage::PaxPageReader::Open(&schema, page));
+  if (row_output) {
+    EnsureOutCapacity(out, static_cast<std::size_t>(reader.tuple_count()) *
+                               output_row_width_);
+  }
   for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
     ++counts->tuples;
     expr::PaxRowView view(&schema, &reader, i);
@@ -280,6 +373,200 @@ Status PageProcessor::ProcessPage(std::span<const std::byte> page,
     };
     SMARTSSD_RETURN_IF_ERROR(HandleTuple(view, col_bytes, counts, out));
   }
+  return Status::OK();
+}
+
+Status PageProcessor::ProcessPageVectorized(std::span<const std::byte> page,
+                                            OpCounts* counts,
+                                            std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  const storage::Schema& schema = bound_->outer->schema;
+  const int outer_cols = schema.num_columns();
+  std::uint16_t n = 0;
+  // The readers only validate and locate; the column pointers they hand
+  // out live in `page` and stay valid after the readers go out of scope.
+  if (bound_->outer->layout == storage::PageLayout::kNsm) {
+    SMARTSSD_ASSIGN_OR_RETURN(const storage::NsmPageReader reader,
+                              storage::NsmPageReader::Open(&schema, page));
+    n = reader.tuple_count();
+    counts->tuples += n;
+    // Empty (e.g. zero-initialized) pages have no slot directory or
+    // minipages to point into — bail before touching them.
+    if (n == 0) return Status::OK();
+    tuple_ptrs_.resize(n);
+    reader.TuplePointers(tuple_ptrs_.data());
+    for (int c = 0; c < outer_cols; ++c) {
+      expr::BatchColumn& col = batch_columns_[static_cast<std::size_t>(c)];
+      col.base = nullptr;
+      col.row_ptrs = tuple_ptrs_.data();
+      col.offset = schema.offset(c);
+    }
+  } else {
+    SMARTSSD_ASSIGN_OR_RETURN(const storage::PaxPageReader reader,
+                              storage::PaxPageReader::Open(&schema, page));
+    n = reader.tuple_count();
+    counts->tuples += n;
+    if (n == 0) return Status::OK();
+    for (int c = 0; c < outer_cols; ++c) {
+      expr::BatchColumn& col = batch_columns_[static_cast<std::size_t>(c)];
+      col.base = reader.column_data(c);
+      col.stride = schema.column(c).width;
+      col.row_ptrs = nullptr;
+    }
+  }
+
+  sel_.resize(n);
+  for (std::uint16_t i = 0; i < n; ++i) sel_[i] = i;
+
+  const expr::BatchInput in{batch_columns_.data(),
+                            static_cast<int>(batch_columns_.size())};
+  if (spec.order == PipelineOrder::kFilterFirst) {
+    if (pred_compiled_.has_value()) {
+      pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+    }
+    if (spec.join.has_value()) ProbeBatch(n, counts);
+  } else {
+    ProbeBatch(n, counts);
+    if (pred_compiled_.has_value()) {
+      pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+    }
+  }
+  return SinkBatch(in, counts, out);
+}
+
+void PageProcessor::ProbeBatch(std::uint32_t rows, OpCounts* counts) {
+  const JoinSpec& join = *bound_->spec->join;
+  const expr::BatchColumn& fk =
+      batch_columns_[static_cast<std::size_t>(join.outer_key_col)];
+  counts->eval.column_reads += sel_.size();  // FK read per probed row
+  counts->probes += sel_.size();
+  payload_ptrs_.resize(rows);
+  std::size_t w = 0;
+  for (const std::uint32_t row : sel_) {
+    const std::byte* hit = hash_table_->Probe(LoadIntLane(fk, row));
+    if (hit == nullptr) continue;
+    payload_ptrs_[row] = hit;
+    sel_[w++] = row;
+  }
+  sel_.resize(w);
+  // payload_ptrs_ may have reallocated: (re)point the payload columns.
+  const int combined_cols = bound_->combined_schema.num_columns();
+  for (int c = bound_->outer_columns(); c < combined_cols; ++c) {
+    batch_columns_[static_cast<std::size_t>(c)].row_ptrs =
+        payload_ptrs_.data();
+  }
+}
+
+Status PageProcessor::SinkBatch(const expr::BatchInput& in,
+                                OpCounts* counts,
+                                std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  const int outer_cols = bound_->outer_columns();
+
+  if (!spec.aggregates.empty()) {
+    const bool grouped = !spec.group_by.empty();
+    if (grouped) {
+      // Pass 1: resolve every lane's group index (and charge the key-
+      // column reads the scalar path charges in AppendColumnBytes).
+      counts->group_updates += sel_.size();
+      std::uint64_t outer_key_cols = 0;
+      for (const int col : spec.group_by) {
+        if (col < outer_cols) ++outer_key_cols;
+      }
+      counts->eval.column_reads += outer_key_cols * sel_.size();
+      group_idx_.resize(sel_.size());
+      for (std::size_t j = 0; j < sel_.size(); ++j) {
+        row_scratch_.clear();
+        for (const int col : spec.group_by) {
+          const expr::BatchColumn& c =
+              batch_columns_[static_cast<std::size_t>(col)];
+          const std::byte* src = c.at(sel_[j]);
+          row_scratch_.insert(row_scratch_.end(), src, src + c.width);
+        }
+        group_idx_[j] =
+            group_table_.FindOrInsert(row_scratch_.data(),
+                                      agg_init_.data());
+      }
+    }
+    // Pass 2: one aggregate at a time — each EvalI64 reuses the shared
+    // scratch, so its span must be consumed before the next call.
+    for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+      const AggSpec& agg = spec.aggregates[i];
+      counts->agg_updates += sel_.size();
+      if (agg.input == nullptr) {  // COUNT(*)
+        if (grouped) {
+          for (const std::uint32_t g : group_idx_) {
+            ++group_table_.states(g)[i];
+          }
+        } else {
+          agg_state_[i] += static_cast<std::int64_t>(sel_.size());
+        }
+        continue;
+      }
+      const std::span<const std::int64_t> vals =
+          agg_compiled_[i]->EvalI64(in, sel_, &scratch_, &counts->eval);
+      auto fold = [&](std::int64_t& state, std::int64_t v) {
+        switch (agg.fn) {
+          case AggSpec::Fn::kSum:
+            state += v;
+            break;
+          case AggSpec::Fn::kCount:
+            ++state;
+            break;
+          case AggSpec::Fn::kMin:
+            state = std::min(state, v);
+            break;
+          case AggSpec::Fn::kMax:
+            state = std::max(state, v);
+            break;
+        }
+      };
+      if (grouped) {
+        for (std::size_t j = 0; j < vals.size(); ++j) {
+          fold(group_table_.states(group_idx_[j])[i], vals[j]);
+        }
+      } else {
+        for (const std::int64_t v : vals) fold(agg_state_[i], v);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Projection: copy the surviving rows' column bytes.
+  std::uint64_t outer_proj_cols = 0;
+  for (const int col : spec.projection) {
+    if (col < outer_cols) ++outer_proj_cols;
+  }
+  counts->eval.column_reads += outer_proj_cols * sel_.size();
+  if (spec.top_n.has_value()) {
+    counts->eval.column_reads += sel_.size();  // the order key
+    const expr::BatchColumn& order_col =
+        batch_columns_[static_cast<std::size_t>(spec.top_n->order_col)];
+    for (const std::uint32_t row : sel_) {
+      row_scratch_.clear();
+      for (const int col : spec.projection) {
+        const expr::BatchColumn& c =
+            batch_columns_[static_cast<std::size_t>(col)];
+        const std::byte* src = c.at(row);
+        row_scratch_.insert(row_scratch_.end(), src, src + c.width);
+      }
+      PushTopN(LoadIntLane(order_col, row), row_scratch_, counts);
+    }
+    return Status::OK();
+  }
+  EnsureOutCapacity(out, sel_.size() * output_row_width_);
+  for (const std::uint32_t row : sel_) {
+    for (const int col : spec.projection) {
+      const expr::BatchColumn& c =
+          batch_columns_[static_cast<std::size_t>(col)];
+      const std::byte* src = c.at(row);
+      out->insert(out->end(), src, src + c.width);
+    }
+  }
+  counts->output_tuples += sel_.size();
+  counts->output_bytes +=
+      static_cast<std::uint64_t>(sel_.size()) * output_row_width_;
+  rows_output_ += sel_.size();
   return Status::OK();
 }
 
@@ -296,15 +583,18 @@ Status PageProcessor::Finish(OpCounts* counts, std::vector<std::byte>* out) {
       ++rows_output_;
       return Status::OK();
     }
-    // One row per group, in key order (std::map iteration).
-    for (const auto& [key, states] : groups_) {
-      out->insert(out->end(),
-                  reinterpret_cast<const std::byte*>(key.data()),
-                  reinterpret_cast<const std::byte*>(key.data()) +
-                      key.size());
-      for (const std::int64_t v : states) {
-        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
-        out->insert(out->end(), p, p + sizeof(v));
+    // One row per group, in key-byte order (what the former
+    // std::map<std::string, ...> iteration produced).
+    std::vector<std::uint32_t> order;
+    group_table_.SortedGroups(&order);
+    for (const std::uint32_t g : order) {
+      const std::byte* key = group_table_.key(g);
+      out->insert(out->end(), key, key + group_table_.key_width());
+      const std::int64_t* states = group_table_.states(g);
+      for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+        const std::byte* p =
+            reinterpret_cast<const std::byte*>(&states[i]);
+        out->insert(out->end(), p, p + sizeof(std::int64_t));
       }
       ++counts->output_tuples;
       counts->output_bytes += output_row_width_;

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,8 +11,11 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "exec/cost_model.h"
+#include "exec/group_table.h"
 #include "exec/hash_table.h"
+#include "exec/kernel_mode.h"
 #include "exec/query_spec.h"
+#include "expr/batch.h"
 
 namespace smartssd::exec {
 
@@ -25,11 +28,24 @@ namespace smartssd::exec {
 // counts — only the cycles-per-operation (and the data path the pages
 // took to get here) differ. That is the paper's setup: the same operator
 // logic compiled for the host and for the device firmware.
+//
+// Two kernels implement the pipeline:
+//  * kScalar — interpreted row-at-a-time (virtual RowView access, tree-
+//    walked predicates); the semantic reference.
+//  * kVectorized — the page is exposed as column accessors (PAX
+//    minipages directly, NSM via one gather of tuple pointers), the
+//    predicate/aggregate expressions are compiled once into flat batch
+//    programs (expr/batch.h), and every stage runs column-at-a-time over
+//    a selection vector of surviving row ids.
+// Both produce byte-identical output and byte-identical OpCounts; a
+// query the batch compiler cannot express silently degrades to kScalar
+// (see kernel_mode()).
 class PageProcessor {
  public:
   // `hash_table` must outlive the processor and is required iff the
   // query has a join.
-  PageProcessor(const BoundQuery* bound, const JoinHashTable* hash_table);
+  PageProcessor(const BoundQuery* bound, const JoinHashTable* hash_table,
+                KernelMode mode = KernelMode::kVectorized);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PageProcessor);
 
   // Processes one outer-table page. Serialized output rows (packed
@@ -42,14 +58,16 @@ class PageProcessor {
   Status Finish(OpCounts* counts, std::vector<std::byte>* out);
 
   const std::vector<std::int64_t>& agg_state() const { return agg_state_; }
-  // Grouped aggregation state: serialized group key -> per-agg values.
-  const std::map<std::string, std::vector<std::int64_t>>& groups() const {
-    return groups_;
-  }
   std::uint32_t output_row_width() const { return output_row_width_; }
   std::uint64_t rows_output() const { return rows_output_; }
+  // The kernel actually running: the requested mode, degraded to
+  // kScalar if any of the query's expressions failed to batch-compile.
+  KernelMode kernel_mode() const { return mode_; }
 
  private:
+  // --- scalar kernel ---
+  Status ProcessPageScalar(std::span<const std::byte> page,
+                           OpCounts* counts, std::vector<std::byte>* out);
   Status HandleTuple(
       const expr::RowView& outer_view,
       const std::function<const std::byte*(int col)>& outer_col_bytes,
@@ -64,23 +82,48 @@ class PageProcessor {
       std::vector<std::byte>* out) const;
 
   Status UpdateAggregates(const expr::RowView& combined_view,
-                          std::vector<std::int64_t>* states,
-                          OpCounts* counts);
+                          std::int64_t* states, OpCounts* counts);
+
+  // --- vectorized kernel ---
+  // Compiles predicate + aggregate inputs; false => fall back to scalar.
+  bool CompileKernels();
+  Status ProcessPageVectorized(std::span<const std::byte> page,
+                               OpCounts* counts,
+                               std::vector<std::byte>* out);
+  // Probes the join hash table for every lane of sel_, keeps the hits,
+  // and repoints the payload batch columns. `rows` is the page's tuple
+  // count (payload pointers are indexed by row id).
+  void ProbeBatch(std::uint32_t rows, OpCounts* counts);
+  // Aggregation / projection over the surviving lanes of sel_.
+  Status SinkBatch(const expr::BatchInput& in, OpCounts* counts,
+                   std::vector<std::byte>* out);
 
   void PushTopN(std::int64_t key, std::vector<std::byte> row,
                 OpCounts* counts);
 
   const BoundQuery* bound_;
   const JoinHashTable* hash_table_;
-  std::vector<std::int64_t> agg_state_;           // scalar aggregation
-  std::map<std::string, std::vector<std::int64_t>> groups_;  // GROUP BY
+  KernelMode mode_ = KernelMode::kScalar;
+  std::vector<std::int64_t> agg_init_;   // one init value per aggregate
+  std::vector<std::int64_t> agg_state_;  // scalar aggregation
+  GroupTable group_table_;               // GROUP BY state (both kernels)
   // Top-N candidates as a binary heap ordered so the *worst* kept row is
   // on top (max-heap for ascending order, min-heap for descending).
   std::vector<std::pair<std::int64_t, std::vector<std::byte>>> top_n_;
-  std::string group_key_scratch_;
   std::vector<std::byte> row_scratch_;
   std::uint32_t output_row_width_ = 0;
   std::uint64_t rows_output_ = 0;
+
+  // Vectorized-kernel state, reused across pages.
+  std::optional<expr::CompiledExpr> pred_compiled_;
+  // Parallel to spec->aggregates; nullopt for COUNT(*) (null input).
+  std::vector<std::optional<expr::CompiledExpr>> agg_compiled_;
+  expr::BatchScratch scratch_;
+  std::vector<expr::BatchColumn> batch_columns_;  // combined-row columns
+  expr::SelVec sel_;
+  std::vector<const std::byte*> tuple_ptrs_;    // NSM gather
+  std::vector<const std::byte*> payload_ptrs_;  // probe hits, by row id
+  std::vector<std::uint32_t> group_idx_;        // per-lane group index
 };
 
 // Builds the join hash table by scanning the inner table's pages through

@@ -5,10 +5,12 @@
 namespace smartssd::exec {
 
 PushdownProgram::PushdownProgram(const BoundQuery* bound,
-                                 const storage::ZoneMap* zone_map)
+                                 const storage::ZoneMap* zone_map,
+                                 KernelMode kernel)
     : bound_(bound),
       outer_params_(EmbeddedCostParams(bound->outer->layout)),
-      zone_map_(zone_map) {
+      zone_map_(zone_map),
+      kernel_(kernel) {
   if (zone_map_ != nullptr) {
     // Only outer-column ranges are usable for extent pruning.
     for (auto& [col, range] :
@@ -77,7 +79,7 @@ Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
     done = device.Execute(bound_->outer->page_count * 2, done);
   }
   processor_ = std::make_unique<PageProcessor>(
-      bound_, hash_table_.has_value() ? &*hash_table_ : nullptr);
+      bound_, hash_table_.has_value() ? &*hash_table_ : nullptr, kernel_);
   return done;
 }
 

@@ -27,7 +27,8 @@ class PushdownProgram final : public smart::InSsdProgram {
   // with it, so non-matching pages are never even read from flash —
   // in-SSD indexing.
   explicit PushdownProgram(const BoundQuery* bound,
-                           const storage::ZoneMap* zone_map = nullptr);
+                           const storage::ZoneMap* zone_map = nullptr,
+                           KernelMode kernel = KernelMode::kVectorized);
 
   std::string_view name() const override;
 
@@ -58,6 +59,7 @@ class PushdownProgram final : public smart::InSsdProgram {
   const BoundQuery* bound_;
   CpuCostParams outer_params_;
   const storage::ZoneMap* zone_map_;
+  KernelMode kernel_;
   std::map<int, ColumnRange> prune_ranges_;  // outer columns only
   mutable std::uint64_t pages_skipped_ = 0;
   std::optional<JoinHashTable> hash_table_;

@@ -1,0 +1,543 @@
+#include "expr/batch.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace smartssd::expr {
+
+namespace {
+
+// Scalar comparison kernels shared by the uniform paths. Semantics match
+// the interpreter's CompareValues + op dispatch exactly.
+template <typename T>
+bool CmpScalar(CompareOp op, const T& x, const T& y) {
+  switch (op) {
+    case CompareOp::kEq:
+      return x == y;
+    case CompareOp::kNe:
+      return x != y;
+    case CompareOp::kLt:
+      return x < y;
+    case CompareOp::kLe:
+      return x <= y;
+    case CompareOp::kGt:
+      return x > y;
+    case CompareOp::kGe:
+      return x >= y;
+  }
+  return false;
+}
+
+bool CmpStr(CompareOp op, std::string_view x, std::string_view y) {
+  const int c = x.compare(y);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::int64_t ArithScalarI(ArithOp op, std::int64_t x, std::int64_t y) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return x + y;
+    case ArithOp::kSub:
+      return x - y;
+    case ArithOp::kMul:
+      return x * y;
+    case ArithOp::kDiv:
+      break;  // integer division never compiles: kDiv forces the double path
+  }
+  SMARTSSD_CHECK(false);
+  return 0;
+}
+
+double ArithScalarD(ArithOp op, double x, double y) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return x + y;
+    case ArithOp::kSub:
+      return x - y;
+    case ArithOp::kMul:
+      return x * y;
+    case ArithOp::kDiv:
+      return y == 0 ? 0 : x / y;
+  }
+  return 0;
+}
+
+bool LikeScalar(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+Result<CompiledExpr> CompiledExpr::Compile(const Expression& root,
+                                           const storage::Schema& schema) {
+  BatchProgram prog(&schema);
+  SMARTSSD_ASSIGN_OR_RETURN(const int slot, root.CompileBatch(&prog));
+  const SlotType type = prog.slot(slot).type;
+  return CompiledExpr(std::move(prog), slot, type);
+}
+
+void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
+                       EvalStats* stats) const {
+  scratch->slots_.resize(static_cast<std::size_t>(prog_.num_slots()));
+  // Literal slots carry their value straight from the program; doing it
+  // every Run keeps the scratch shareable between compiled expressions.
+  for (int s = 0; s < prog_.num_slots(); ++s) {
+    const SlotInfo& info = prog_.slot(s);
+    if (!info.literal) continue;
+    BatchScratch::Slot& slot = scratch->slots_[static_cast<std::size_t>(s)];
+    if (info.type == SlotType::kI64) {
+      slot.u_i64 = info.lit_i64;
+    } else {
+      slot.u_str = prog_.string(info.lit_str);
+    }
+  }
+
+  SelVec& cur = scratch->cur_;
+  std::size_t& depth = scratch->sel_depth_;
+  depth = 0;
+
+  for (const BatchOp& op : prog_.ops()) {
+    const std::size_t n = cur.size();
+    const std::uint32_t* sel = cur.data();
+    switch (op.code) {
+      case BatchOp::Code::kLoadI64: {
+        const BatchColumn& col = in.columns[op.col];
+        auto& out = scratch->slots_[static_cast<std::size_t>(op.dst)].i64;
+        out.resize(n);
+        stats->column_reads += n;
+        auto load = [&](auto addr) {
+          if (col.width == 4) {
+            for (std::size_t i = 0; i < n; ++i) {
+              std::int32_t v;
+              std::memcpy(&v, addr(sel[i]), sizeof(v));
+              out[i] = v;
+            }
+          } else {
+            for (std::size_t i = 0; i < n; ++i) {
+              std::int64_t v;
+              std::memcpy(&v, addr(sel[i]), sizeof(v));
+              out[i] = v;
+            }
+          }
+        };
+        if (col.base != nullptr) {
+          const std::byte* base = col.base;
+          const std::size_t stride = col.stride;
+          load([base, stride](std::uint32_t row) {
+            return base + static_cast<std::size_t>(row) * stride;
+          });
+        } else {
+          const std::byte* const* rows = col.row_ptrs;
+          const std::uint32_t offset = col.offset;
+          load([rows, offset](std::uint32_t row) {
+            return rows[row] + offset;
+          });
+        }
+        break;
+      }
+      case BatchOp::Code::kLoadStr: {
+        const BatchColumn& col = in.columns[op.col];
+        auto& out = scratch->slots_[static_cast<std::size_t>(op.dst)].str;
+        out.resize(n);
+        stats->column_reads += n;
+        const std::size_t width = col.width;
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = std::string_view(
+              reinterpret_cast<const char*>(col.at(sel[i])), width);
+        }
+        break;
+      }
+      case BatchOp::Code::kCmpI:
+      case BatchOp::Code::kCmpD: {
+        stats->comparisons += n;
+        const bool is_d = op.code == BatchOp::Code::kCmpD;
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sb =
+            scratch->slots_[static_cast<std::size_t>(op.b)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool ua = prog_.slot(op.a).uniform;
+        const bool ub = prog_.slot(op.b).uniform;
+        // Typed once at the top, so the uniform/vector combinations all
+        // compare operands of the same type.
+        auto run_typed = [&](const auto& va, auto uax, const auto& vb,
+                             auto ubx) {
+          if (ua && ub) {
+            sd.u_b8 = CmpScalar(op.cmp, uax, ubx) ? 1 : 0;
+            return;
+          }
+          sd.b8.resize(n);
+          std::uint8_t* o = sd.b8.data();
+          auto loop = [&](auto ga, auto gb) {
+            switch (op.cmp) {
+              case CompareOp::kEq:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) == gb(i);
+                break;
+              case CompareOp::kNe:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) != gb(i);
+                break;
+              case CompareOp::kLt:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) < gb(i);
+                break;
+              case CompareOp::kLe:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) <= gb(i);
+                break;
+              case CompareOp::kGt:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) > gb(i);
+                break;
+              case CompareOp::kGe:
+                for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) >= gb(i);
+                break;
+            }
+          };
+          const auto* av = va.data();
+          const auto* bv = vb.data();
+          if (ua) {
+            loop([uax](std::size_t) { return uax; },
+                 [bv](std::size_t i) { return bv[i]; });
+          } else if (ub) {
+            loop([av](std::size_t i) { return av[i]; },
+                 [ubx](std::size_t) { return ubx; });
+          } else {
+            loop([av](std::size_t i) { return av[i]; },
+                 [bv](std::size_t i) { return bv[i]; });
+          }
+        };
+        if (is_d) {
+          run_typed(sa.f64, sa.u_f64, sb.f64, sb.u_f64);
+        } else {
+          run_typed(sa.i64, sa.u_i64, sb.i64, sb.u_i64);
+        }
+        break;
+      }
+      case BatchOp::Code::kCmpS: {
+        stats->comparisons += n;
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sb =
+            scratch->slots_[static_cast<std::size_t>(op.b)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool ua = prog_.slot(op.a).uniform;
+        const bool ub = prog_.slot(op.b).uniform;
+        auto ga = [&](std::size_t i) { return ua ? sa.u_str : sa.str[i]; };
+        auto gb = [&](std::size_t i) { return ub ? sb.u_str : sb.str[i]; };
+        if (ua && ub) {
+          sd.u_b8 = CmpStr(op.cmp, sa.u_str, sb.u_str) ? 1 : 0;
+          break;
+        }
+        sd.b8.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          sd.b8[i] = CmpStr(op.cmp, ga(i), gb(i)) ? 1 : 0;
+        }
+        break;
+      }
+      case BatchOp::Code::kArithI: {
+        stats->arithmetic += n;
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sb =
+            scratch->slots_[static_cast<std::size_t>(op.b)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool ua = prog_.slot(op.a).uniform;
+        const bool ub = prog_.slot(op.b).uniform;
+        if (ua && ub) {
+          sd.u_i64 = ArithScalarI(op.arith, sa.u_i64, sb.u_i64);
+          break;
+        }
+        sd.i64.resize(n);
+        std::int64_t* o = sd.i64.data();
+        auto run = [&](auto ga, auto gb) {
+          switch (op.arith) {
+            case ArithOp::kAdd:
+              for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) + gb(i);
+              break;
+            case ArithOp::kSub:
+              for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) - gb(i);
+              break;
+            case ArithOp::kMul:
+              for (std::size_t i = 0; i < n; ++i) o[i] = ga(i) * gb(i);
+              break;
+            case ArithOp::kDiv:
+              SMARTSSD_CHECK(false);
+              break;
+          }
+        };
+        if (ua) {
+          const std::int64_t x = sa.u_i64;
+          const std::int64_t* bv = sb.i64.data();
+          run([x](std::size_t) { return x; },
+              [bv](std::size_t i) { return bv[i]; });
+        } else if (ub) {
+          const std::int64_t* av = sa.i64.data();
+          const std::int64_t y = sb.u_i64;
+          run([av](std::size_t i) { return av[i]; },
+              [y](std::size_t) { return y; });
+        } else {
+          const std::int64_t* av = sa.i64.data();
+          const std::int64_t* bv = sb.i64.data();
+          run([av](std::size_t i) { return av[i]; },
+              [bv](std::size_t i) { return bv[i]; });
+        }
+        break;
+      }
+      case BatchOp::Code::kArithD: {
+        stats->arithmetic += n;
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sb =
+            scratch->slots_[static_cast<std::size_t>(op.b)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool ua = prog_.slot(op.a).uniform;
+        const bool ub = prog_.slot(op.b).uniform;
+        auto ga = [&](std::size_t i) { return ua ? sa.u_f64 : sa.f64[i]; };
+        auto gb = [&](std::size_t i) { return ub ? sb.u_f64 : sb.f64[i]; };
+        if (ua && ub) {
+          sd.u_f64 = ArithScalarD(op.arith, sa.u_f64, sb.u_f64);
+          break;
+        }
+        sd.f64.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          sd.f64[i] = ArithScalarD(op.arith, ga(i), gb(i));
+        }
+        break;
+      }
+      case BatchOp::Code::kCastI2D: {
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        if (prog_.slot(op.a).uniform) {
+          sd.u_f64 = static_cast<double>(sa.u_i64);
+          break;
+        }
+        sd.f64.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          sd.f64[i] = static_cast<double>(sa.i64[i]);
+        }
+        break;
+      }
+      case BatchOp::Code::kNot: {
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        if (prog_.slot(op.a).uniform) {
+          sd.u_b8 = sa.u_b8 == 0 ? 1 : 0;
+          break;
+        }
+        sd.b8.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          sd.b8[i] = sa.b8[i] == 0 ? 1 : 0;
+        }
+        break;
+      }
+      case BatchOp::Code::kLike: {
+        stats->like_evals += n;
+        const std::string_view prefix = prog_.string(op.lit);
+        BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        if (prog_.slot(op.a).uniform) {
+          sd.u_b8 = LikeScalar(sa.u_str, prefix) ? 1 : 0;
+          break;
+        }
+        sd.b8.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          sd.b8[i] = LikeScalar(sa.str[i], prefix) ? 1 : 0;
+        }
+        break;
+      }
+      case BatchOp::Code::kCaseMark:
+        stats->case_evals += n;
+        break;
+      case BatchOp::Code::kSelSave: {
+        if (scratch->sel_stack_.size() <= depth) {
+          scratch->sel_stack_.emplace_back();
+        }
+        scratch->sel_stack_[depth].assign(cur.begin(), cur.end());
+        ++depth;
+        break;
+      }
+      case BatchOp::Code::kSelNarrow: {
+        const BatchScratch::Slot& sa =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        const bool keep = op.flag != 0;
+        if (prog_.slot(op.a).uniform) {
+          if ((sa.u_b8 != 0) != keep) cur.clear();
+          break;
+        }
+        std::size_t w = 0;
+        const std::uint8_t* bv = sa.b8.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((bv[i] != 0) == keep) cur[w++] = cur[i];
+        }
+        cur.resize(w);
+        break;
+      }
+      case BatchOp::Code::kSelPop: {
+        SMARTSSD_CHECK(depth > 0);
+        std::swap(cur, scratch->sel_stack_[depth - 1]);
+        --depth;
+        break;
+      }
+      case BatchOp::Code::kBoolFromSel: {
+        SMARTSSD_CHECK(depth > 0);
+        SelVec& saved = scratch->sel_stack_[depth - 1];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool invert = op.flag != 0;
+        sd.b8.resize(saved.size());
+        // `cur` is an ordered subset of `saved`: one forward walk marks
+        // the survivors.
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < saved.size(); ++i) {
+          const bool member = j < cur.size() && cur[j] == saved[i];
+          if (member) ++j;
+          sd.b8[i] = (member != invert) ? 1 : 0;
+        }
+        std::swap(cur, saved);
+        --depth;
+        break;
+      }
+      case BatchOp::Code::kMerge: {
+        BatchScratch::Slot& sc =
+            scratch->slots_[static_cast<std::size_t>(op.a)];
+        BatchScratch::Slot& st =
+            scratch->slots_[static_cast<std::size_t>(op.b)];
+        BatchScratch::Slot& se =
+            scratch->slots_[static_cast<std::size_t>(op.c)];
+        BatchScratch::Slot& sd =
+            scratch->slots_[static_cast<std::size_t>(op.dst)];
+        const bool uc = prog_.slot(op.a).uniform;
+        const bool ut = prog_.slot(op.b).uniform;
+        const bool ue = prog_.slot(op.c).uniform;
+        auto cond = [&](std::size_t i) {
+          return (uc ? sc.u_b8 : sc.b8[i]) != 0;
+        };
+        if (prog_.slot(op.dst).uniform) {
+          // All three operands uniform: one scalar pick.
+          switch (prog_.slot(op.dst).type) {
+            case SlotType::kI64:
+              sd.u_i64 = cond(0) ? st.u_i64 : se.u_i64;
+              break;
+            case SlotType::kF64:
+              sd.u_f64 = cond(0) ? st.u_f64 : se.u_f64;
+              break;
+            case SlotType::kStr:
+              sd.u_str = cond(0) ? st.u_str : se.u_str;
+              break;
+            case SlotType::kBool:
+              sd.u_b8 = cond(0) ? st.u_b8 : se.u_b8;
+              break;
+          }
+          break;
+        }
+        // Branch outputs are dense streams over the lanes that took the
+        // branch; zipping by the condition restores lane order.
+        std::size_t jt = 0;
+        std::size_t je = 0;
+        switch (prog_.slot(op.dst).type) {
+          case SlotType::kI64: {
+            sd.i64.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              sd.i64[i] = cond(i) ? (ut ? st.u_i64 : st.i64[jt++])
+                                  : (ue ? se.u_i64 : se.i64[je++]);
+            }
+            break;
+          }
+          case SlotType::kF64: {
+            sd.f64.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              sd.f64[i] = cond(i) ? (ut ? st.u_f64 : st.f64[jt++])
+                                  : (ue ? se.u_f64 : se.f64[je++]);
+            }
+            break;
+          }
+          case SlotType::kStr: {
+            sd.str.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              sd.str[i] = cond(i) ? (ut ? st.u_str : st.str[jt++])
+                                  : (ue ? se.u_str : se.str[je++]);
+            }
+            break;
+          }
+          case SlotType::kBool: {
+            sd.b8.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              sd.b8[i] = cond(i) ? (ut ? st.u_b8 : st.b8[jt++])
+                                 : (ue ? se.u_b8 : se.b8[je++]);
+            }
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  SMARTSSD_CHECK_EQ(depth, 0u);
+}
+
+void CompiledExpr::Filter(const BatchInput& in, SelVec* sel,
+                          BatchScratch* scratch, EvalStats* stats) const {
+  SMARTSSD_CHECK(result_type_ == SlotType::kBool);
+  if (sel->empty()) {
+    // Nothing to evaluate: the interpreter would not have charged a
+    // thing either, so skip the op walk entirely.
+    return;
+  }
+  std::swap(scratch->cur_, *sel);
+  Run(in, scratch, stats);
+  std::swap(scratch->cur_, *sel);
+  const BatchScratch::Slot& root =
+      scratch->slots_[static_cast<std::size_t>(root_)];
+  if (prog_.slot(root_).uniform) {
+    if (root.u_b8 == 0) sel->clear();
+    return;
+  }
+  std::size_t w = 0;
+  const std::uint8_t* bv = root.b8.data();
+  for (std::size_t i = 0; i < sel->size(); ++i) {
+    if (bv[i] != 0) (*sel)[w++] = (*sel)[i];
+  }
+  sel->resize(w);
+}
+
+std::span<const std::int64_t> CompiledExpr::EvalI64(
+    const BatchInput& in, const SelVec& sel, BatchScratch* scratch,
+    EvalStats* stats) const {
+  SMARTSSD_CHECK(result_type_ == SlotType::kI64);
+  if (sel.empty()) return {};
+  scratch->cur_.assign(sel.begin(), sel.end());
+  Run(in, scratch, stats);
+  const BatchScratch::Slot& root =
+      scratch->slots_[static_cast<std::size_t>(root_)];
+  if (prog_.slot(root_).uniform) {
+    scratch->broadcast_.assign(sel.size(), root.u_i64);
+    return scratch->broadcast_;
+  }
+  return root.i64;
+}
+
+}  // namespace smartssd::expr

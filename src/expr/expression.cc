@@ -2,9 +2,27 @@
 
 #include <utility>
 
+#include "expr/batch.h"
+
 namespace smartssd::expr {
 
 namespace {
+
+// Inserts a (free) int→double cast op unless the slot is already a
+// double — the batch analogue of Value::AsDouble promotion.
+int CastToF64(BatchProgram* prog, int slot) {
+  if (prog->slot(slot).type == SlotType::kF64) return slot;
+  BatchOp op;
+  op.code = BatchOp::Code::kCastI2D;
+  op.a = slot;
+  op.dst = prog->AddSlot(SlotType::kF64, prog->slot(slot).uniform);
+  prog->Emit(op);
+  return op.dst;
+}
+
+bool IsNumeric(SlotType t) {
+  return t == SlotType::kI64 || t == SlotType::kF64;
+}
 
 // Compares two values of the same family; strings compare
 // lexicographically (fixed CHARs are space-padded, so padding is
@@ -50,6 +68,27 @@ class ColumnExpr final : public Expression {
 
   std::optional<int> AsColumnRef() const override { return column_; }
 
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    if (column_ < 0 || column_ >= prog->schema().num_columns()) {
+      return InvalidArgumentError("column index out of range");
+    }
+    BatchOp op;
+    op.col = column_;
+    switch (prog->schema().column(column_).type) {
+      case storage::ColumnType::kInt32:
+      case storage::ColumnType::kInt64:
+        op.code = BatchOp::Code::kLoadI64;
+        op.dst = prog->AddSlot(SlotType::kI64);
+        break;
+      case storage::ColumnType::kFixedChar:
+        op.code = BatchOp::Code::kLoadStr;
+        op.dst = prog->AddSlot(SlotType::kStr);
+        break;
+    }
+    prog->Emit(op);
+    return op.dst;
+  }
+
   std::string ToString() const override {
     return "$" + std::to_string(column_);
   }
@@ -80,6 +119,11 @@ class LiteralExpr final : public Expression {
   std::optional<std::int64_t> AsIntLiteral() const override {
     if (is_string_) return std::nullopt;
     return int_value_;
+  }
+
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    return is_string_ ? prog->AddLiteralStr(string_value_)
+                      : prog->AddLiteralI64(int_value_);
   }
 
   std::string ToString() const override {
@@ -169,6 +213,34 @@ class CompareExpr final : public Expression {
     return std::nullopt;
   }
 
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    SMARTSSD_ASSIGN_OR_RETURN(int a, lhs_->CompileBatch(prog));
+    SMARTSSD_ASSIGN_OR_RETURN(int b, rhs_->CompileBatch(prog));
+    const SlotType ta = prog->slot(a).type;
+    const SlotType tb = prog->slot(b).type;
+    BatchOp op;
+    op.cmp = op_;
+    if (ta == SlotType::kStr && tb == SlotType::kStr) {
+      op.code = BatchOp::Code::kCmpS;
+    } else if (IsNumeric(ta) && IsNumeric(tb)) {
+      if (ta == SlotType::kF64 || tb == SlotType::kF64) {
+        a = CastToF64(prog, a);
+        b = CastToF64(prog, b);
+        op.code = BatchOp::Code::kCmpD;
+      } else {
+        op.code = BatchOp::Code::kCmpI;
+      }
+    } else {
+      return UnimplementedError("batch compare on mixed operand types");
+    }
+    op.a = a;
+    op.b = b;
+    op.dst = prog->AddSlot(
+        SlotType::kBool, prog->slot(a).uniform && prog->slot(b).uniform);
+    prog->Emit(op);
+    return op.dst;
+  }
+
   std::string ToString() const override {
     static constexpr const char* kNames[] = {"=", "<>", "<", "<=", ">",
                                              ">="};
@@ -237,6 +309,33 @@ class ArithExpr final : public Expression {
     ++stats->arithmetic;
   }
 
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    SMARTSSD_ASSIGN_OR_RETURN(int a, lhs_->CompileBatch(prog));
+    SMARTSSD_ASSIGN_OR_RETURN(int b, rhs_->CompileBatch(prog));
+    if (!IsNumeric(prog->slot(a).type) || !IsNumeric(prog->slot(b).type)) {
+      return UnimplementedError("batch arithmetic on non-numeric operand");
+    }
+    BatchOp op;
+    op.arith = op_;
+    const bool uniform = prog->slot(a).uniform && prog->slot(b).uniform;
+    // Division always takes the double path, exactly like the
+    // interpreter.
+    if (prog->slot(a).type == SlotType::kF64 ||
+        prog->slot(b).type == SlotType::kF64 || op_ == ArithOp::kDiv) {
+      op.code = BatchOp::Code::kArithD;
+      op.a = CastToF64(prog, a);
+      op.b = CastToF64(prog, b);
+      op.dst = prog->AddSlot(SlotType::kF64, uniform);
+    } else {
+      op.code = BatchOp::Code::kArithI;
+      op.a = a;
+      op.b = b;
+      op.dst = prog->AddSlot(SlotType::kI64, uniform);
+    }
+    prog->Emit(op);
+    return op.dst;
+  }
+
   std::string ToString() const override {
     static constexpr const char* kNames[] = {"+", "-", "*", "/"};
     return "(" + lhs_->ToString() + " " +
@@ -289,6 +388,44 @@ class LogicExpr final : public Expression {
     return is_and_ ? &children_ : nullptr;
   }
 
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    if (children_.empty()) {
+      return InvalidArgumentError("AND/OR needs at least one operand");
+    }
+    // Child k runs over exactly the lanes where every earlier child left
+    // the outcome undecided (true-so-far for AND, false-so-far for OR):
+    // selection narrowing IS short-circuiting, lane for lane, which is
+    // what keeps the charged EvalStats identical to the interpreter.
+    SMARTSSD_ASSIGN_OR_RETURN(int b0, children_[0]->CompileBatch(prog));
+    if (prog->slot(b0).type != SlotType::kBool) {
+      return UnimplementedError("batch AND/OR over non-boolean child");
+    }
+    if (children_.size() == 1) return b0;
+    const std::uint8_t keep = is_and_ ? 1 : 0;
+    BatchOp save;
+    save.code = BatchOp::Code::kSelSave;
+    prog->Emit(save);
+    BatchOp narrow;
+    narrow.code = BatchOp::Code::kSelNarrow;
+    narrow.flag = keep;
+    narrow.a = b0;
+    prog->Emit(narrow);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      SMARTSSD_ASSIGN_OR_RETURN(int bi, children_[i]->CompileBatch(prog));
+      if (prog->slot(bi).type != SlotType::kBool) {
+        return UnimplementedError("batch AND/OR over non-boolean child");
+      }
+      narrow.a = bi;
+      prog->Emit(narrow);
+    }
+    BatchOp fold;
+    fold.code = BatchOp::Code::kBoolFromSel;
+    fold.flag = is_and_ ? 0 : 1;  // surviving lanes are false for OR
+    fold.dst = prog->AddSlot(SlotType::kBool);
+    prog->Emit(fold);
+    return fold.dst;
+  }
+
   std::string ToString() const override {
     std::string out = "(";
     for (std::size_t i = 0; i < children_.size(); ++i) {
@@ -321,6 +458,19 @@ class NotExpr final : public Expression {
 
   void EstimateOps(EvalStats* stats) const override {
     child_->EstimateOps(stats);
+  }
+
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    SMARTSSD_ASSIGN_OR_RETURN(const int a, child_->CompileBatch(prog));
+    if (prog->slot(a).type != SlotType::kBool) {
+      return UnimplementedError("batch NOT over non-boolean child");
+    }
+    BatchOp op;
+    op.code = BatchOp::Code::kNot;
+    op.a = a;
+    op.dst = prog->AddSlot(SlotType::kBool, prog->slot(a).uniform);
+    prog->Emit(op);
+    return op.dst;
   }
 
   std::string ToString() const override {
@@ -357,6 +507,20 @@ class LikePrefixExpr final : public Expression {
   void EstimateOps(EvalStats* stats) const override {
     input_->EstimateOps(stats);
     ++stats->like_evals;
+  }
+
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    SMARTSSD_ASSIGN_OR_RETURN(const int a, input_->CompileBatch(prog));
+    if (prog->slot(a).type != SlotType::kStr) {
+      return UnimplementedError("batch LIKE over non-string input");
+    }
+    BatchOp op;
+    op.code = BatchOp::Code::kLike;
+    op.a = a;
+    op.lit = prog->AddString(prefix_);
+    op.dst = prog->AddSlot(SlotType::kBool, prog->slot(a).uniform);
+    prog->Emit(op);
+    return op.dst;
   }
 
   std::string ToString() const override {
@@ -402,6 +566,56 @@ class CaseWhenExpr final : public Expression {
     ++stats->case_evals;
   }
 
+  Result<int> CompileBatch(BatchProgram* prog) const override {
+    // The interpreter counts the case_eval before touching the
+    // condition, so the mark comes first.
+    BatchOp mark;
+    mark.code = BatchOp::Code::kCaseMark;
+    prog->Emit(mark);
+    SMARTSSD_ASSIGN_OR_RETURN(const int b, condition_->CompileBatch(prog));
+    if (prog->slot(b).type != SlotType::kBool) {
+      return UnimplementedError("batch CASE over non-boolean condition");
+    }
+    // Each branch runs only over its partition of the selection — the
+    // rows the interpreter would have taken that branch for.
+    BatchOp save;
+    save.code = BatchOp::Code::kSelSave;
+    BatchOp narrow;
+    narrow.code = BatchOp::Code::kSelNarrow;
+    narrow.a = b;
+    BatchOp pop;
+    pop.code = BatchOp::Code::kSelPop;
+
+    prog->Emit(save);
+    narrow.flag = 1;
+    prog->Emit(narrow);
+    SMARTSSD_ASSIGN_OR_RETURN(const int t, then_->CompileBatch(prog));
+    prog->Emit(pop);
+
+    prog->Emit(save);
+    narrow.flag = 0;
+    prog->Emit(narrow);
+    SMARTSSD_ASSIGN_OR_RETURN(const int e, else_->CompileBatch(prog));
+    prog->Emit(pop);
+
+    if (prog->slot(t).type != prog->slot(e).type) {
+      // A row-dependent result type; the interpreter's dynamic typing
+      // handles it, the static batch engine does not.
+      return UnimplementedError("batch CASE with mixed branch types");
+    }
+    BatchOp merge;
+    merge.code = BatchOp::Code::kMerge;
+    merge.a = b;
+    merge.b = t;
+    merge.c = e;
+    merge.dst = prog->AddSlot(prog->slot(t).type,
+                              prog->slot(b).uniform &&
+                                  prog->slot(t).uniform &&
+                                  prog->slot(e).uniform);
+    prog->Emit(merge);
+    return merge.dst;
+  }
+
   std::string ToString() const override {
     return "CASE WHEN " + condition_->ToString() + " THEN " +
            then_->ToString() + " ELSE " + else_->ToString() + " END";
@@ -414,6 +628,10 @@ class CaseWhenExpr final : public Expression {
 };
 
 }  // namespace
+
+Result<int> Expression::CompileBatch(BatchProgram*) const {
+  return UnimplementedError("expression not supported by batch kernel");
+}
 
 ExprPtr Col(int column) { return std::make_unique<ColumnExpr>(column); }
 

@@ -15,6 +15,8 @@
 
 namespace smartssd::expr {
 
+class BatchProgram;
+
 // Operation counts accumulated while evaluating expressions. The cost
 // models (host Xeon vs. embedded ARM) convert these counts into cycles,
 // so the *same interpreted evaluation* yields different virtual time on
@@ -34,6 +36,8 @@ struct EvalStats {
     case_evals += other.case_evals;
     return *this;
   }
+
+  friend bool operator==(const EvalStats&, const EvalStats&) = default;
 };
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -63,6 +67,13 @@ class Expression {
   // short-circuiting) — the planner's worst-case per-row estimate.
   virtual void EstimateOps(EvalStats* stats) const = 0;
   virtual std::string ToString() const = 0;
+
+  // Appends this node's ops to `prog` and returns the slot holding its
+  // result (see expr/batch.h). The default is kUnimplemented: any node
+  // (or operand-type combination) the batch engine does not cover makes
+  // the whole compilation fail, and the caller falls back to the
+  // interpreted path.
+  virtual Result<int> CompileBatch(BatchProgram* prog) const;
 
   // --- Structural introspection (for pruning/planning) ---
 

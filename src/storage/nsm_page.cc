@@ -95,4 +95,12 @@ const std::byte* NsmPageReader::tuple(std::uint16_t i) const {
   return page_.data() + offset;
 }
 
+void NsmPageReader::TuplePointers(const std::byte** out) const {
+  const std::byte* base = page_.data();
+  const std::byte* slot = base + page_.size() - 2;
+  for (std::uint16_t i = 0; i < count_; ++i, slot -= 2) {
+    out[i] = base + LoadU16(slot);
+  }
+}
+
 }  // namespace smartssd::storage

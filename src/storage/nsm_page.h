@@ -64,6 +64,11 @@ class NsmPageReader {
   // Pointer to tuple i's record (fixed schema->tuple_size() bytes).
   const std::byte* tuple(std::uint16_t i) const;
 
+  // Fills `out` (tuple_count() entries) with every tuple's record
+  // pointer in one slot-directory walk — the gather step of the batch
+  // kernel. Offsets were bounds-checked in Open().
+  void TuplePointers(const std::byte** out) const;
+
  private:
   NsmPageReader(const Schema* schema, std::span<const std::byte> page,
                 std::uint16_t count)

@@ -82,8 +82,9 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   options.specs_per_seed = 2;
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
-  // ref + 4 single configs + 3 parallel configs per spec.
-  EXPECT_EQ(report.executions, 2 * 8);
+  // ref (scalar + vectorized twin) + 4 single configs + 3 parallel
+  // configs per spec.
+  EXPECT_EQ(report.executions, 2 * 9);
 }
 
 }  // namespace
