@@ -2,28 +2,49 @@
 // issue the paper raises twice ("considering the impact of concurrent
 // queries", Section 5). Two pushdown sessions share the embedded cores,
 // the flash channels, and the DRAM bus; two host-path queries share the
-// host link. We launch query pairs at the same virtual instant and
-// compare against their solo runtimes.
+// host link.
+//
+// Methodology note: an earlier version of this bench issued the "pair"
+// through two back-to-back blocking QueryExecutor calls. Those queries
+// never actually overlapped — the second call's resource requests queued
+// behind the first query's entire FIFO reservation history, so the
+// measured "pair span 2.00x" was call-order serialization, not resource
+// sharing. We keep that serialized pair as a reference line and measure
+// true interference with the WorkloadScheduler, which interleaves both
+// queries page-by-page / protocol-unit-by-protocol-unit on one virtual
+// clock.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "engine/database.h"
 #include "engine/executor.h"
+#include "engine/workload.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
 
 using namespace smartssd;
 
 namespace {
+
 constexpr double kScaleFactor = 0.05;
+
+double SpanSeconds(const std::vector<engine::CompletedQuery>& records) {
+  SimTime end = 0;
+  for (const auto& r : records) end = std::max(end, r.end);
+  return ToSeconds(end);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Concurrent queries on one device: interference of co-running "
       "pushdowns",
       "the Section 5 'impact of concurrent queries' discussion");
+  bench::JsonReporter reporter("ext_concurrency", argc, argv);
 
   engine::Database db(engine::DatabaseOptions::PaperSmartSsd());
   bench::Unwrap(tpch::LoadLineitem(db, "lineitem_a", kScaleFactor,
@@ -33,32 +54,64 @@ int main() {
                                    storage::PageLayout::kPax),
                 "load B");
 
-  auto run_pair = [&](engine::ExecutionTarget target,
-                      const char* label) {
-    // Solo run.
+  auto run_pair = [&](engine::ExecutionTarget target, const char* label) {
+    // Solo run: one query, cold device.
     db.ResetForColdRun();
     engine::QueryExecutor executor(&db);
     auto solo = bench::Unwrap(
         executor.Execute(tpch::Q6Spec("lineitem_a"), target, 0), "solo");
     const double solo_seconds = solo.stats.elapsed_seconds();
 
-    // Two queries over different tables, both issued at t=0: they
-    // contend on every shared resource the simulator models.
+    // Serialized pair: two blocking calls. Query B's first request waits
+    // behind everything query A reserved — this is what the pre-
+    // scheduler version of this bench (mis)reported as interference.
     db.ResetForColdRun();
     auto first = bench::Unwrap(
         executor.Execute(tpch::Q6Spec("lineitem_a"), target, 0),
-        "concurrent A");
+        "serialized A");
     auto second = bench::Unwrap(
         executor.Execute(tpch::Q6Spec("lineitem_b"), target, 0),
-        "concurrent B");
-    const double span =
+        "serialized B");
+    const double serialized_span =
         ToSeconds(std::max(first.stats.end, second.stats.end));
-    std::printf("%-22s solo %8.4f s; pair span %8.4f s; "
-                "interference %.2fx (ideal sharing 2.00x)\n",
-                label, solo_seconds, span, span / solo_seconds);
-    if (first.agg_values != solo.agg_values) {
-      std::printf("!! RESULT MISMATCH\n");
+
+    // Interleaved pair: both queries submitted at t=0 to the workload
+    // scheduler; their page / protocol-unit steps contend on every
+    // shared simulated resource.
+    db.ResetForColdRun();
+    engine::WorkloadScheduler sched(&db);
+    engine::WorkloadQueryConfig qa;
+    qa.client = "client-a";
+    qa.spec = tpch::Q6Spec("lineitem_a");
+    qa.target = target;
+    sched.Submit(std::move(qa), 0);
+    engine::WorkloadQueryConfig qb;
+    qb.client = "client-b";
+    qb.spec = tpch::Q6Spec("lineitem_b");
+    qb.target = target;
+    sched.Submit(std::move(qb), 0);
+    const std::vector<engine::CompletedQuery> records =
+        bench::Unwrap(sched.Run(), "interleaved pair");
+    const double span = SpanSeconds(records);
+
+    std::printf("%-20s solo %7.4f s\n", label, solo_seconds);
+    std::printf("%-20s   serialized pair span %7.4f s (%.2fx solo; "
+                "reference, no overlap)\n",
+                "", serialized_span, serialized_span / solo_seconds);
+    std::printf("%-20s   interleaved pair span %6.4f s "
+                "(interference %.2fx; ideal fair sharing 2.00x of the "
+                "bottleneck)\n",
+                "", span, span / solo_seconds);
+    for (const auto& r : records) {
+      bench::Check(r.result.status(), "interleaved record");
+      std::printf("%-20s     %-9s latency %7.4f s\n", "", r.client.c_str(),
+                  ToSeconds(r.latency()));
+      if (r.result.value().agg_values != solo.agg_values) {
+        std::printf("!! RESULT MISMATCH (%s)\n", r.client.c_str());
+      }
     }
+    reporter.Add(std::string(label) + " interleaved", span, NAN,
+                 span / solo_seconds);
   };
 
   run_pair(engine::ExecutionTarget::kSmartSsd, "pushdown + pushdown");
@@ -67,23 +120,35 @@ int main() {
   // Mixed: one pushdown, one host query — they overlap on flash + DRAM
   // but not on the host link's payload direction vs embedded CPU.
   db.ResetForColdRun();
-  engine::QueryExecutor executor(&db);
-  auto smart = bench::Unwrap(
-      executor.Execute(tpch::Q6Spec("lineitem_a"),
-                       engine::ExecutionTarget::kSmartSsd, 0),
-      "mixed smart");
-  auto host = bench::Unwrap(
-      executor.Execute(tpch::Q6Spec("lineitem_b"),
-                       engine::ExecutionTarget::kHost, 0),
-      "mixed host");
-  std::printf("%-22s smart %7.4f s, host %7.4f s, span %7.4f s\n",
-              "pushdown + host", smart.stats.elapsed_seconds(),
-              host.stats.elapsed_seconds(),
-              ToSeconds(std::max(smart.stats.end, host.stats.end)));
+  engine::WorkloadScheduler sched(&db);
+  engine::WorkloadQueryConfig qs;
+  qs.client = "smart";
+  qs.spec = tpch::Q6Spec("lineitem_a");
+  qs.target = engine::ExecutionTarget::kSmartSsd;
+  sched.Submit(std::move(qs), 0);
+  engine::WorkloadQueryConfig qh;
+  qh.client = "host";
+  qh.spec = tpch::Q6Spec("lineitem_b");
+  qh.target = engine::ExecutionTarget::kHost;
+  sched.Submit(std::move(qh), 0);
+  const std::vector<engine::CompletedQuery> mixed =
+      bench::Unwrap(sched.Run(), "mixed pair");
+  std::printf("%-20s interleaved span %7.4f s\n", "pushdown + host",
+              SpanSeconds(mixed));
+  for (const auto& r : mixed) {
+    std::printf("%-20s     %-9s latency %7.4f s\n", "", r.client.c_str(),
+                ToSeconds(r.latency()));
+  }
+  reporter.Add("pushdown + host interleaved", SpanSeconds(mixed), NAN,
+               NAN);
+
   bench::PrintRule();
   std::printf(
-      "Shape check: co-running pushdowns roughly double the span "
-      "(embedded CPU is the shared bottleneck); mixed pairs overlap "
-      "better because they saturate different resources.\n");
+      "Shape check: interleaved co-running pushdowns finish in less than "
+      "2x solo — the pair pays the shared bottleneck's busy time twice "
+      "but overlaps protocol overhead — while the serialized reference "
+      "pins the 2.00x upper bound. Mixed pairs overlap best because "
+      "they saturate different resources.\n");
+  reporter.Write();
   return 0;
 }

@@ -1,33 +1,8 @@
 #include "engine/executor.h"
 
-#include <algorithm>
-#include <cstring>
-
-#include "engine/fallback_reason.h"
-#include "exec/predicate_range.h"
-#include "exec/pushdown_program.h"
+#include "engine/query_task.h"
 
 namespace smartssd::engine {
-
-namespace {
-
-// Decodes the scalar aggregate row (n int64s) from the result bytes.
-// Grouped aggregation results stay in `rows` (one row per group, per
-// OutputSchema) and are not flattened into agg_values.
-Status DecodeAggValues(const exec::BoundQuery& bound,
-                       const std::vector<std::byte>& rows,
-                       std::vector<std::int64_t>* out) {
-  const std::size_t n = bound.spec->aggregates.size();
-  if (n == 0 || !bound.spec->group_by.empty()) return Status::OK();
-  if (rows.size() != n * sizeof(std::int64_t)) {
-    return InternalError("aggregate query returned an unexpected row size");
-  }
-  out->resize(n);
-  std::memcpy(out->data(), rows.data(), rows.size());
-  return Status::OK();
-}
-
-}  // namespace
 
 QueryExecutor::QueryExecutor(Database* db) : db_(db) {
   SMARTSSD_CHECK(db != nullptr);
@@ -58,266 +33,34 @@ Result<QueryResult> QueryExecutor::ExecuteAuto(const exec::QuerySpec& spec,
   return ExecuteOnHost(bound, start);
 }
 
+// The blocking entry points drive the resumable tasks to completion in a
+// tight loop: the task then issues the identical resource-call sequence
+// the old monolithic bodies did, so these paths are byte-identical to
+// the pre-task executor — a property the differential and bench identity
+// tests pin down. Interleaved execution lives in WorkloadScheduler.
+
 Result<QueryResult> QueryExecutor::ExecuteDeviceWithFallback(
     const exec::BoundQuery& bound, SimTime start) {
-  const StageBreakdown stage_before = db_->StageSnapshot();
-  SimTime failed_at = start;
-  Result<QueryResult> device = ExecuteOnDevice(bound, start, &failed_at);
-  if (device.ok()) {
-    db_->circuit_breaker().RecordSuccess(device.value().stats.end);
-    return device;
-  }
-  if (!RetryableDeviceFailure(device.status())) {
-    return device;
-  }
-  db_->circuit_breaker().RecordFailure(
-      failed_at, FallbackReasonToken(device.status()));
-  obs::Tracer* tracer = db_->tracer();
-  if (tracer != nullptr) {
-    tracer->Instant(
-        db_->executor_track(), "fallback to host", "query", failed_at,
-        {obs::Arg::Str("reason", FallbackReasonToken(device.status())),
-         obs::Arg::Str("error", device.status().message())});
-  }
-  db_->metrics().counter("engine.fallbacks")->Add();
-  // Degraded execution: redo the whole query on the host, starting when
-  // the failed session was torn down, so the timeline stays consistent
-  // and the results stay byte-identical to a clean pushdown.
-  SMARTSSD_ASSIGN_OR_RETURN(
-      QueryResult result,
-      ExecuteOnHost(bound, std::max(start, failed_at)));
-  result.stats.start = start;  // the query began at the pushdown attempt
-  result.stats.fell_back = true;
-  result.stats.device_attempts = 1;
-  result.stats.fallback_reason = FallbackReasonString(device.status());
-  // The breakdown must cover the wasted device attempt too, not just the
-  // host re-run.
-  result.stats.stage = db_->StageSnapshot() - stage_before;
-  return result;
+  DeviceQueryTask task(db_, &bound, start, /*fallback=*/true,
+                       /*wait_for_grant=*/false);
+  while (!task.finished()) task.Step();
+  return task.TakeResult();
 }
 
 Result<QueryResult> QueryExecutor::ExecuteOnHost(
     const exec::BoundQuery& bound, SimTime start) {
-  SMARTSSD_ASSIGN_OR_RETURN(storage::Schema output_schema,
-                            OutputSchema(bound));
-  QueryResult result{.output_schema = std::move(output_schema),
-                     .rows = {},
-                     .agg_values = {},
-                     .stats = {}};
-  QueryStats& stats = result.stats;
-  stats.query_name = bound.spec->name;
-  stats.device_name = std::string(db_->device().name());
-  stats.target = ExecutionTarget::kHost;
-  stats.layout = bound.outer->layout;
-  stats.start = start;
-
-  const StageBreakdown stage_before = db_->StageSnapshot();
-  obs::Tracer* tracer = db_->tracer();
-  // RAII: error returns close the span at the tracer's high-water mark.
-  obs::ScopedSpan query_span(tracer, db_->executor_track(),
-                             bound.spec->name, "query", start);
-
-  BufferPool& pool = db_->buffer_pool();
-  HostMachine& host = db_->host();
-  const std::uint32_t page_size = db_->device().page_size();
-  SimTime end = start;
-
-  // Build phase (joins): stream the inner table to the host and hash it
-  // in host memory.
-  std::optional<exec::JoinHashTable> hash_table;
-  if (bound.spec->join.has_value()) {
-    const storage::TableInfo& inner = *bound.inner;
-    exec::OpCounts build_counts;
-    SimTime io_done = start;
-    auto read_page = [&](std::uint64_t page_index)
-        -> Result<std::span<const std::byte>> {
-      SMARTSSD_ASSIGN_OR_RETURN(
-          auto page_and_time,
-          pool.GetPage(inner.first_lpn + page_index, start,
-                       inner.first_lpn + inner.page_count));
-      io_done = std::max(io_done, page_and_time.second);
-      return page_and_time.first;
-    };
-    SMARTSSD_ASSIGN_OR_RETURN(
-        exec::JoinHashTable table,
-        exec::BuildJoinHashTable(bound, read_page, &build_counts));
-    hash_table.emplace(std::move(table));
-    const std::uint64_t cycles =
-        exec::Cycles(build_counts, exec::HostCostParams(inner.layout),
-                     inner.schema.num_columns(), 0);
-    end = host.Execute(cycles, io_done, "hash build");
-    stats.counts += build_counts;
-    stats.host_cycles += cycles;
-    stats.pages_read += inner.page_count;
-    stats.bytes_over_host_link +=
-        inner.page_count * static_cast<std::uint64_t>(page_size);
-    if (tracer != nullptr) {
-      tracer->Complete(db_->executor_track(), "build", "phase", start, end,
-                       {obs::Arg::Uint("pages", inner.page_count)});
-    }
-  }
-
-  exec::PageProcessor processor(
-      &bound, hash_table.has_value() ? &*hash_table : nullptr,
-      db_->options().kernel);
-  const exec::CpuCostParams host_params =
-      exec::HostCostParams(bound.outer->layout);
-  const std::uint64_t hash_entries =
-      hash_table.has_value() ? hash_table->entries() : 0;
-  const storage::TableInfo& outer = *bound.outer;
-  const std::uint64_t limit = outer.first_lpn + outer.page_count;
-
-  // Zone-map pruning: skip pages whose per-page [min, max] cannot
-  // satisfy the predicate's column ranges.
-  const storage::ZoneMap* zone_map = db_->zone_map(bound.spec->table);
-  std::map<int, exec::ColumnRange> prune_ranges;
-  if (zone_map != nullptr) {
-    for (auto& [col, range] :
-         exec::ExtractColumnRanges(bound.spec->predicate.get())) {
-      if (col < bound.outer_columns() && zone_map->TracksColumn(col)) {
-        prune_ranges.emplace(col, range);
-      }
-    }
-    if (!prune_ranges.empty()) {
-      // Checking the (host-cached) statistics costs a few cycles/page.
-      end = std::max(end,
-                     host.Execute(outer.page_count * 2, start, "zone check"));
-    }
-  }
-
-  const SimTime scan_started = end;
-  std::uint64_t pages_scanned = 0;
-  for (std::uint64_t p = 0; p < outer.page_count; ++p) {
-    bool may_match = true;
-    for (const auto& [col, range] : prune_ranges) {
-      if (!zone_map->PageMayMatch(p, col, range.lo, range.hi)) {
-        may_match = false;
-        break;
-      }
-    }
-    if (!may_match) {
-      ++stats.pages_skipped;
-      continue;
-    }
-    ++pages_scanned;
-    SMARTSSD_ASSIGN_OR_RETURN(
-        auto page_and_time,
-        pool.GetPage(outer.first_lpn + p, start, limit));
-    exec::OpCounts page_counts;
-    SMARTSSD_RETURN_IF_ERROR(processor.ProcessPage(
-        page_and_time.first, &page_counts, &result.rows));
-    const std::uint64_t cycles =
-        exec::Cycles(page_counts, host_params,
-                     outer.schema.num_columns(), hash_entries);
-    end = std::max(end,
-                   host.Execute(cycles, page_and_time.second, "scan batch"));
-    stats.counts += page_counts;
-    stats.host_cycles += cycles;
-  }
-  stats.pages_read += pages_scanned;
-  stats.bytes_over_host_link +=
-      pages_scanned * static_cast<std::uint64_t>(page_size);
-  if (tracer != nullptr) {
-    tracer->Complete(db_->executor_track(), "scan", "phase", scan_started,
-                     end,
-                     {obs::Arg::Uint("pages_scanned", pages_scanned),
-                      obs::Arg::Uint("pages_skipped", stats.pages_skipped)});
-  }
-
-  const SimTime finish_started = end;
-  exec::OpCounts final_counts;
-  SMARTSSD_RETURN_IF_ERROR(processor.Finish(&final_counts, &result.rows));
-  const std::uint64_t final_cycles =
-      exec::Cycles(final_counts, host_params, outer.schema.num_columns(),
-                   hash_entries);
-  end = host.Execute(final_cycles, end, "finalize");
-  stats.counts += final_counts;
-  stats.host_cycles += final_cycles;
-  if (tracer != nullptr) {
-    tracer->Complete(db_->executor_track(), "finish", "phase",
-                     finish_started, end);
-  }
-
-  stats.end = end;
-  stats.output_rows = result.row_count();
-  stats.output_bytes = result.rows.size();
-  stats.stage = db_->StageSnapshot() - stage_before;
-  db_->metrics().counter("engine.queries")->Add();
-  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
-  if (tracer != nullptr) {
-    query_span.End(end, {obs::Arg::Str("target", "host"),
-                         obs::Arg::Uint("rows", stats.output_rows)});
-  }
-  SMARTSSD_RETURN_IF_ERROR(
-      DecodeAggValues(bound, result.rows, &result.agg_values));
-  return result;
+  HostQueryTask task(db_, &bound, start);
+  while (!task.finished()) task.Step();
+  return task.TakeResult();
 }
 
 Result<QueryResult> QueryExecutor::ExecuteOnDevice(
     const exec::BoundQuery& bound, SimTime start, SimTime* failed_at) {
-  if (failed_at != nullptr) *failed_at = start;
-  if (!db_->smart_capable()) {
-    return FailedPreconditionError(
-        "pushdown requires a Smart SSD device");
-  }
-  // Correctness gate from Section 4.3: the device must not compute over
-  // pages the host has modified but not written back.
-  const storage::TableInfo& outer = *bound.outer;
-  if (db_->buffer_pool().HasDirtyInRange(outer.first_lpn,
-                                         outer.page_count) ||
-      (bound.inner != nullptr &&
-       db_->buffer_pool().HasDirtyInRange(bound.inner->first_lpn,
-                                          bound.inner->page_count))) {
-    return FailedPreconditionError(
-        "pushdown refused: dirty pages in the buffer pool");
-  }
-
-  SMARTSSD_ASSIGN_OR_RETURN(storage::Schema output_schema,
-                            OutputSchema(bound));
-  QueryResult result{.output_schema = std::move(output_schema),
-                     .rows = {},
-                     .agg_values = {},
-                     .stats = {}};
-  QueryStats& stats = result.stats;
-  stats.query_name = bound.spec->name;
-  stats.device_name = std::string(db_->device().name());
-  stats.target = ExecutionTarget::kSmartSsd;
-  stats.layout = bound.outer->layout;
-  stats.start = start;
-
-  const StageBreakdown stage_before = db_->StageSnapshot();
-  obs::Tracer* tracer = db_->tracer();
-  obs::ScopedSpan query_span(tracer, db_->executor_track(),
-                             bound.spec->name, "query", start);
-
-  exec::PushdownProgram program(&bound, db_->zone_map(bound.spec->table),
-                                db_->options().kernel);
-  SMARTSSD_ASSIGN_OR_RETURN(
-      smart::SessionStats session,
-      db_->runtime()->RunSession(program, db_->options().polling, start,
-                                 &result.rows, failed_at));
-  stats.session = session;
-  stats.end = session.close_done;
-  stats.embedded_cycles = session.embedded_cycles;
-  stats.counts = program.counts();
-  stats.pages_read = session.pages_processed;
-  stats.pages_skipped = program.pages_skipped();
-  // Host-link traffic: result bytes plus one command round per
-  // OPEN/GET/CLOSE exchange.
-  stats.bytes_over_host_link =
-      session.result_bytes + (session.gets_issued + 2) * 64;
-  stats.output_rows = result.row_count();
-  stats.output_bytes = result.rows.size();
-  stats.stage = db_->StageSnapshot() - stage_before;
-  db_->metrics().counter("engine.queries")->Add();
-  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
-  if (tracer != nullptr) {
-    query_span.End(stats.end, {obs::Arg::Str("target", "smart-ssd"),
-                               obs::Arg::Uint("rows", stats.output_rows)});
-  }
-  SMARTSSD_RETURN_IF_ERROR(
-      DecodeAggValues(bound, result.rows, &result.agg_values));
-  return result;
+  DeviceQueryTask task(db_, &bound, start, /*fallback=*/false,
+                       /*wait_for_grant=*/false);
+  while (!task.finished()) task.Step();
+  if (failed_at != nullptr) *failed_at = task.failed_at();
+  return task.TakeResult();
 }
 
 }  // namespace smartssd::engine

@@ -1,0 +1,548 @@
+#include "engine/query_task.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "engine/fallback_reason.h"
+
+namespace smartssd::engine {
+
+namespace {
+
+// Decodes the scalar aggregate row (n int64s) from the result bytes.
+// Grouped aggregation results stay in `rows` (one row per group, per
+// OutputSchema) and are not flattened into agg_values.
+Status DecodeAggValues(const exec::BoundQuery& bound,
+                       const std::vector<std::byte>& rows,
+                       std::vector<std::int64_t>* out) {
+  const std::size_t n = bound.spec->aggregates.size();
+  if (n == 0 || !bound.spec->group_by.empty()) return Status::OK();
+  if (rows.size() != n * sizeof(std::int64_t)) {
+    return InternalError("aggregate query returned an unexpected row size");
+  }
+  out->resize(n);
+  std::memcpy(out->data(), rows.data(), rows.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HostQueryTask
+
+HostQueryTask::HostQueryTask(Database* db, const exec::BoundQuery* bound,
+                             SimTime start)
+    : db_(db), bound_(bound), start_(start), tracer_(db->tracer()) {
+  SMARTSSD_CHECK(db != nullptr);
+  SMARTSSD_CHECK(bound != nullptr);
+}
+
+HostQueryTask::~HostQueryTask() { CloseSpanForError(); }
+
+void HostQueryTask::CloseSpanForError() {
+  // Same close the old RAII query span applied on error paths: the best
+  // known end time is the tracer's high-water mark.
+  if (tracer_ != nullptr && span_id_ != obs::kNoSpan && !span_ended_) {
+    tracer_->End(span_id_, std::max(start_, tracer_->latest_time()));
+    span_ended_ = true;
+  }
+}
+
+StepOutcome HostQueryTask::FailWith(const Status& error) {
+  CloseSpanForError();
+  final_result_ = error;
+  state_ = State::kDone;
+  return {.at = std::max(start_, end_), .finished = true};
+}
+
+Result<QueryResult> HostQueryTask::TakeResult() {
+  SMARTSSD_CHECK(finished());
+  SMARTSSD_CHECK(final_result_.has_value());
+  return std::move(*final_result_);
+}
+
+StepOutcome HostQueryTask::Step() {
+  switch (state_) {
+    case State::kStart:
+      return StepStart();
+    case State::kBuildRead:
+      return StepBuildRead();
+    case State::kBuildFinish:
+      return StepBuildFinish();
+    case State::kPrepareScan:
+      return StepPrepareScan();
+    case State::kScan:
+      return StepScan();
+    case State::kFinish:
+      return StepFinish();
+    case State::kDone:
+      break;
+  }
+  SMARTSSD_CHECK(false);  // Step() on a finished host query task
+  return {};
+}
+
+StepOutcome HostQueryTask::StepStart() {
+  Result<storage::Schema> output_schema = OutputSchema(*bound_);
+  if (!output_schema.ok()) {
+    // Pre-span failure, exactly as the monolithic body: no trace, no
+    // stats.
+    final_result_ = output_schema.status();
+    state_ = State::kDone;
+    return {.at = start_, .finished = true};
+  }
+  result_.output_schema = std::move(output_schema.value());
+  QueryStats& stats = result_.stats;
+  stats.query_name = bound_->spec->name;
+  stats.device_name = std::string(db_->device().name());
+  stats.target = ExecutionTarget::kHost;
+  stats.layout = bound_->outer->layout;
+  stats.start = start_;
+
+  stage_before_ = db_->StageSnapshot();
+  if (tracer_ != nullptr) {
+    span_id_ = tracer_->Begin(db_->executor_track(), bound_->spec->name,
+                              "query", start_);
+    span_ended_ = false;
+  }
+  end_ = start_;
+  io_done_ = start_;
+
+  if (bound_->spec->join.has_value()) {
+    builder_.emplace(bound_);
+    state_ = bound_->inner->page_count > 0 ? State::kBuildRead
+                                           : State::kBuildFinish;
+  } else {
+    state_ = State::kPrepareScan;
+  }
+  return {.at = start_};
+}
+
+StepOutcome HostQueryTask::StepBuildRead() {
+  obs::ScopeGuard scope(tracer_, span_id_);
+  const storage::TableInfo& inner = *bound_->inner;
+  Result<std::pair<std::span<const std::byte>, SimTime>> page =
+      db_->buffer_pool().GetPage(inner.first_lpn + build_page_, start_,
+                                 inner.first_lpn + inner.page_count);
+  if (!page.ok()) return FailWith(page.status());
+  io_done_ = std::max(io_done_, page.value().second);
+  const Status added = builder_->AddPage(page.value().first);
+  if (!added.ok()) return FailWith(added);
+  ++build_page_;
+  if (build_page_ >= inner.page_count) state_ = State::kBuildFinish;
+  return {.at = io_done_};
+}
+
+StepOutcome HostQueryTask::StepBuildFinish() {
+  obs::ScopeGuard scope(tracer_, span_id_);
+  const storage::TableInfo& inner = *bound_->inner;
+  QueryStats& stats = result_.stats;
+  hash_table_.emplace(builder_->TakeTable());
+  const std::uint64_t cycles =
+      exec::Cycles(builder_->counts(), exec::HostCostParams(inner.layout),
+                   inner.schema.num_columns(), 0);
+  end_ = db_->host().Execute(cycles, io_done_, "hash build");
+  stats.counts += builder_->counts();
+  stats.host_cycles += cycles;
+  stats.pages_read += inner.page_count;
+  stats.bytes_over_host_link +=
+      inner.page_count *
+      static_cast<std::uint64_t>(db_->device().page_size());
+  if (tracer_ != nullptr) {
+    tracer_->Complete(db_->executor_track(), "build", "phase", start_, end_,
+                      {obs::Arg::Uint("pages", inner.page_count)});
+  }
+  state_ = State::kPrepareScan;
+  return {.at = end_};
+}
+
+StepOutcome HostQueryTask::StepPrepareScan() {
+  obs::ScopeGuard scope(tracer_, span_id_);
+  processor_.emplace(bound_,
+                     hash_table_.has_value() ? &*hash_table_ : nullptr,
+                     db_->options().kernel);
+  host_params_ = exec::HostCostParams(bound_->outer->layout);
+  hash_entries_ = hash_table_.has_value() ? hash_table_->entries() : 0;
+  const storage::TableInfo& outer = *bound_->outer;
+
+  // Zone-map pruning: skip pages whose per-page [min, max] cannot
+  // satisfy the predicate's column ranges.
+  zone_map_ = db_->zone_map(bound_->spec->table);
+  if (zone_map_ != nullptr) {
+    for (auto& [col, range] :
+         exec::ExtractColumnRanges(bound_->spec->predicate.get())) {
+      if (col < bound_->outer_columns() && zone_map_->TracksColumn(col)) {
+        prune_ranges_.emplace(col, range);
+      }
+    }
+    if (!prune_ranges_.empty()) {
+      // Checking the (host-cached) statistics costs a few cycles/page.
+      end_ = std::max(end_, db_->host().Execute(outer.page_count * 2,
+                                                start_, "zone check"));
+    }
+  }
+  scan_started_ = end_;
+  state_ = State::kScan;
+  return {.at = end_};
+}
+
+StepOutcome HostQueryTask::StepScan() {
+  obs::ScopeGuard scope(tracer_, span_id_);
+  QueryStats& stats = result_.stats;
+  const storage::TableInfo& outer = *bound_->outer;
+  const std::uint64_t limit = outer.first_lpn + outer.page_count;
+  while (page_ < outer.page_count) {
+    bool may_match = true;
+    for (const auto& [col, range] : prune_ranges_) {
+      if (!zone_map_->PageMayMatch(page_, col, range.lo, range.hi)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (!may_match) {
+      ++stats.pages_skipped;
+      ++page_;
+      continue;  // pruned pages cost nothing: keep skipping
+    }
+    Result<std::pair<std::span<const std::byte>, SimTime>> page =
+        db_->buffer_pool().GetPage(outer.first_lpn + page_, start_, limit);
+    if (!page.ok()) return FailWith(page.status());
+    exec::OpCounts page_counts;
+    const Status processed = processor_->ProcessPage(
+        page.value().first, &page_counts, &result_.rows);
+    if (!processed.ok()) return FailWith(processed);
+    const std::uint64_t cycles =
+        exec::Cycles(page_counts, host_params_,
+                     outer.schema.num_columns(), hash_entries_);
+    end_ = std::max(end_, db_->host().Execute(cycles, page.value().second,
+                                              "scan batch"));
+    stats.counts += page_counts;
+    stats.host_cycles += cycles;
+    ++pages_scanned_;
+    ++page_;
+    return {.at = end_};  // one scanned page per step
+  }
+  stats.pages_read += pages_scanned_;
+  stats.bytes_over_host_link +=
+      pages_scanned_ *
+      static_cast<std::uint64_t>(db_->device().page_size());
+  if (tracer_ != nullptr) {
+    tracer_->Complete(db_->executor_track(), "scan", "phase", scan_started_,
+                      end_,
+                      {obs::Arg::Uint("pages_scanned", pages_scanned_),
+                       obs::Arg::Uint("pages_skipped", stats.pages_skipped)});
+  }
+  state_ = State::kFinish;
+  return {.at = end_};
+}
+
+StepOutcome HostQueryTask::StepFinish() {
+  obs::ScopeGuard scope(tracer_, span_id_);
+  QueryStats& stats = result_.stats;
+  const storage::TableInfo& outer = *bound_->outer;
+  const SimTime finish_started = end_;
+  exec::OpCounts final_counts;
+  const Status finished_ok = processor_->Finish(&final_counts, &result_.rows);
+  if (!finished_ok.ok()) return FailWith(finished_ok);
+  const std::uint64_t final_cycles =
+      exec::Cycles(final_counts, host_params_, outer.schema.num_columns(),
+                   hash_entries_);
+  end_ = db_->host().Execute(final_cycles, end_, "finalize");
+  stats.counts += final_counts;
+  stats.host_cycles += final_cycles;
+  if (tracer_ != nullptr) {
+    tracer_->Complete(db_->executor_track(), "finish", "phase",
+                      finish_started, end_);
+  }
+
+  stats.end = end_;
+  stats.output_rows = result_.row_count();
+  stats.output_bytes = result_.rows.size();
+  stats.stage = db_->StageSnapshot() - stage_before_;
+  db_->metrics().counter("engine.queries")->Add();
+  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (tracer_ != nullptr) {
+    tracer_->End(span_id_, end_,
+                 {obs::Arg::Str("target", "host"),
+                  obs::Arg::Uint("rows", stats.output_rows)});
+    span_ended_ = true;
+  }
+  const Status decoded =
+      DecodeAggValues(*bound_, result_.rows, &result_.agg_values);
+  if (!decoded.ok()) return FailWith(decoded);
+  final_result_ = std::move(result_);
+  state_ = State::kDone;
+  return {.at = end_, .finished = true};
+}
+
+// ---------------------------------------------------------------------------
+// DeviceQueryTask
+
+DeviceQueryTask::DeviceQueryTask(Database* db,
+                                 const exec::BoundQuery* bound,
+                                 SimTime start, bool fallback,
+                                 bool wait_for_grant)
+    : db_(db),
+      bound_(bound),
+      start_(start),
+      fallback_(fallback),
+      wait_for_grant_(wait_for_grant),
+      tracer_(db->tracer()),
+      failed_at_(start) {
+  SMARTSSD_CHECK(db != nullptr);
+  SMARTSSD_CHECK(bound != nullptr);
+}
+
+DeviceQueryTask::~DeviceQueryTask() { CloseSpanForError(); }
+
+void DeviceQueryTask::CloseSpanForError() {
+  if (tracer_ != nullptr && span_id_ != obs::kNoSpan && !span_ended_) {
+    tracer_->End(span_id_, std::max(start_, tracer_->latest_time()));
+    span_ended_ = true;
+  }
+}
+
+StepOutcome DeviceQueryTask::FinishWithError(const Status& error) {
+  CloseSpanForError();
+  final_result_ = error;
+  state_ = State::kDone;
+  return {.at = std::max(start_, failed_at_), .finished = true};
+}
+
+Result<QueryResult> DeviceQueryTask::TakeResult() {
+  SMARTSSD_CHECK(finished());
+  SMARTSSD_CHECK(final_result_.has_value());
+  return std::move(*final_result_);
+}
+
+StepOutcome DeviceQueryTask::Step() {
+  switch (state_) {
+    case State::kStart:
+      return StepStart();
+    case State::kSession:
+      return StepSession();
+    case State::kHostRerun:
+      return StepHostRerun();
+    case State::kDone:
+      break;
+  }
+  SMARTSSD_CHECK(false);  // Step() on a finished device query task
+  return {};
+}
+
+StepOutcome DeviceQueryTask::StepStart() {
+  outer_stage_before_ = db_->StageSnapshot();
+  if (!db_->smart_capable()) {
+    return FinishWithError(FailedPreconditionError(
+        "pushdown requires a Smart SSD device"));
+  }
+  // Correctness gate from Section 4.3: the device must not compute over
+  // pages the host has modified but not written back.
+  const storage::TableInfo& outer = *bound_->outer;
+  if (db_->buffer_pool().HasDirtyInRange(outer.first_lpn,
+                                         outer.page_count) ||
+      (bound_->inner != nullptr &&
+       db_->buffer_pool().HasDirtyInRange(bound_->inner->first_lpn,
+                                          bound_->inner->page_count))) {
+    return FinishWithError(FailedPreconditionError(
+        "pushdown refused: dirty pages in the buffer pool"));
+  }
+
+  Result<storage::Schema> output_schema = OutputSchema(*bound_);
+  if (!output_schema.ok()) return FinishWithError(output_schema.status());
+  result_.output_schema = std::move(output_schema.value());
+  QueryStats& stats = result_.stats;
+  stats.query_name = bound_->spec->name;
+  stats.device_name = std::string(db_->device().name());
+  stats.target = ExecutionTarget::kSmartSsd;
+  stats.layout = bound_->outer->layout;
+  stats.start = start_;
+
+  stage_before_ = db_->StageSnapshot();
+  if (tracer_ != nullptr) {
+    span_id_ = tracer_->Begin(db_->executor_track(), bound_->spec->name,
+                              "query", start_);
+    span_ended_ = false;
+  }
+  program_.emplace(bound_, db_->zone_map(bound_->spec->table),
+                   db_->options().kernel);
+  session_ = db_->runtime()->StartSession(*program_, db_->options().polling,
+                                          start_, &result_.rows);
+  state_ = State::kSession;
+  return {.at = start_};
+}
+
+StepOutcome DeviceQueryTask::StepSession() {
+  if (wait_for_grant_ && !session_started_ &&
+      db_->runtime()->session_slots_free() <= 0) {
+    return {.at = start_, .waiting_for_grant = true};
+  }
+  Result<SimTime> stepped = InternalError("unreachable");
+  {
+    obs::ScopeGuard scope(tracer_, span_id_);
+    stepped = session_->Step();
+    session_started_ = true;
+  }
+  if (!stepped.ok()) {
+    failed_at_ = session_->fail_time();
+    return HandleDeviceError(stepped.status());
+  }
+  if (!session_->finished()) return {.at = stepped.value()};
+
+  const smart::SessionStats& session = session_->stats();
+  QueryStats& stats = result_.stats;
+  stats.session = session;
+  stats.end = session.close_done;
+  stats.embedded_cycles = session.embedded_cycles;
+  stats.counts = program_->counts();
+  stats.pages_read = session.pages_processed;
+  stats.pages_skipped = program_->pages_skipped();
+  // Host-link traffic: result bytes plus one command round per
+  // OPEN/GET/CLOSE exchange.
+  stats.bytes_over_host_link =
+      session.result_bytes + (session.gets_issued + 2) * 64;
+  stats.output_rows = result_.row_count();
+  stats.output_bytes = result_.rows.size();
+  stats.stage = db_->StageSnapshot() - stage_before_;
+  db_->metrics().counter("engine.queries")->Add();
+  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (tracer_ != nullptr) {
+    tracer_->End(span_id_, stats.end,
+                 {obs::Arg::Str("target", "smart-ssd"),
+                  obs::Arg::Uint("rows", stats.output_rows)});
+    span_ended_ = true;
+  }
+  const Status decoded =
+      DecodeAggValues(*bound_, result_.rows, &result_.agg_values);
+  if (!decoded.ok()) return FinishWithError(decoded);
+  if (fallback_) {
+    db_->circuit_breaker().RecordSuccess(stats.end);
+  }
+  final_result_ = std::move(result_);
+  state_ = State::kDone;
+  return {.at = stats.end, .finished = true};
+}
+
+StepOutcome DeviceQueryTask::HandleDeviceError(const Status& error) {
+  // The device query span dies with the session, before any fallback
+  // bookkeeping — the same order the blocking wrapper produced.
+  CloseSpanForError();
+  if (!fallback_ || !RetryableDeviceFailure(error)) {
+    return FinishWithError(error);
+  }
+  device_error_ = error;
+  db_->circuit_breaker().RecordFailure(failed_at_,
+                                       FallbackReasonToken(error));
+  if (tracer_ != nullptr) {
+    tracer_->Instant(
+        db_->executor_track(), "fallback to host", "query", failed_at_,
+        {obs::Arg::Str("reason", FallbackReasonToken(error)),
+         obs::Arg::Str("error", error.message())});
+  }
+  db_->metrics().counter("engine.fallbacks")->Add();
+  // Degraded execution: redo the whole query on the host, starting when
+  // the failed session was torn down, so the timeline stays consistent
+  // and the results stay byte-identical to a clean pushdown.
+  fell_back_ = true;
+  host_rerun_.emplace(db_, bound_, std::max(start_, failed_at_));
+  state_ = State::kHostRerun;
+  return {.at = std::max(start_, failed_at_)};
+}
+
+StepOutcome DeviceQueryTask::StepHostRerun() {
+  StepOutcome outcome = host_rerun_->Step();
+  if (!outcome.finished) return outcome;
+  Result<QueryResult> rerun = host_rerun_->TakeResult();
+  if (!rerun.ok()) {
+    final_result_ = std::move(rerun);
+    state_ = State::kDone;
+    return outcome;
+  }
+  QueryResult result = std::move(rerun.value());
+  result.stats.start = start_;  // the query began at the pushdown attempt
+  result.stats.fell_back = true;
+  result.stats.device_attempts = 1;
+  result.stats.fallback_reason = FallbackReasonString(device_error_);
+  // The breakdown must cover the wasted device attempt too, not just the
+  // host re-run.
+  result.stats.stage = db_->StageSnapshot() - outer_stage_before_;
+  final_result_ = std::move(result);
+  state_ = State::kDone;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// QueryTask
+
+QueryTask::QueryTask(Database* db, const exec::QuerySpec* spec,
+                     ExecutionTarget target, SimTime start,
+                     bool wait_for_grant)
+    : db_(db),
+      spec_(spec),
+      start_(start),
+      wait_for_grant_(wait_for_grant),
+      explicit_target_(target) {
+  SMARTSSD_CHECK(db != nullptr);
+  SMARTSSD_CHECK(spec != nullptr);
+}
+
+QueryTask::QueryTask(Database* db, const exec::QuerySpec* spec,
+                     const PlanHints& hints, SimTime start,
+                     bool wait_for_grant)
+    : db_(db),
+      spec_(spec),
+      start_(start),
+      wait_for_grant_(wait_for_grant),
+      hints_(hints) {
+  SMARTSSD_CHECK(db != nullptr);
+  SMARTSSD_CHECK(spec != nullptr);
+}
+
+Result<QueryResult> QueryTask::TakeResult() {
+  SMARTSSD_CHECK(finished());
+  if (final_result_.has_value()) return std::move(*final_result_);
+  if (host_task_.has_value()) return host_task_->TakeResult();
+  return device_task_->TakeResult();
+}
+
+StepOutcome QueryTask::Step() {
+  if (state_ == State::kPlan) {
+    Result<exec::BoundQuery> bound = exec::Bind(*spec_, db_->catalog());
+    if (!bound.ok()) {
+      final_result_ = bound.status();
+      state_ = State::kDone;
+      return {.at = start_, .finished = true};
+    }
+    bound_.emplace(std::move(bound.value()));
+    ExecutionTarget target;
+    if (explicit_target_.has_value()) {
+      target = *explicit_target_;
+    } else {
+      PushdownPlanner planner(db_);
+      Result<PlanDecision> decision =
+          planner.Decide(*bound_, hints_, start_);
+      if (!decision.ok()) {
+        final_result_ = decision.status();
+        state_ = State::kDone;
+        return {.at = start_, .finished = true};
+      }
+      target = decision.value().target;
+    }
+    if (target == ExecutionTarget::kSmartSsd) {
+      device_task_.emplace(db_, &*bound_, start_, /*fallback=*/true,
+                           wait_for_grant_);
+    } else {
+      host_task_.emplace(db_, &*bound_, start_);
+    }
+    state_ = State::kRun;
+    return {.at = start_};
+  }
+  SMARTSSD_CHECK(state_ == State::kRun);
+  StepOutcome outcome = host_task_.has_value() ? host_task_->Step()
+                                               : device_task_->Step();
+  if (outcome.finished) state_ = State::kDone;
+  return outcome;
+}
+
+}  // namespace smartssd::engine

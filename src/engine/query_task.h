@@ -1,0 +1,207 @@
+#ifndef SMARTSSD_ENGINE_QUERY_TASK_H_
+#define SMARTSSD_ENGINE_QUERY_TASK_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "exec/page_processor.h"
+#include "exec/predicate_range.h"
+#include "exec/pushdown_program.h"
+#include "exec/query_spec.h"
+#include "smart/session_task.h"
+
+namespace smartssd::engine {
+
+// Resumable query execution. The blocking QueryExecutor entry points are
+// thin loops over the task classes below, which advance a query one page
+// (host path) or one session protocol unit (pushdown path) per Step().
+// That granularity is what lets a workload scheduler interleave many
+// in-flight queries on the shared simulated resources; driven solo in a
+// tight loop, each task issues the identical resource-call sequence the
+// old monolithic executor bodies did, so single-query timelines are
+// byte-identical by construction.
+
+// What one Step() of a task reports back to its driver.
+struct StepOutcome {
+  // Virtual time the step's work retired at — when the task next has
+  // work ready. A scheduler clamps this to its own now (some steps
+  // complete in the past: cached pages, pruned pages).
+  SimTime at = 0;
+  bool finished = false;
+  // The task wants to OPEN a device session but no firmware thread
+  // grant is free; nothing was issued. Re-Step() once a grant frees.
+  bool waiting_for_grant = false;
+};
+
+// The conventional path (QueryExecutor::ExecuteOnHost) as a state
+// machine: join build one inner page per step, then scan one outer page
+// per step, then finalize. `bound` must outlive the task.
+class HostQueryTask {
+ public:
+  HostQueryTask(Database* db, const exec::BoundQuery* bound, SimTime start);
+  ~HostQueryTask();
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(HostQueryTask);
+
+  StepOutcome Step();
+  bool finished() const { return state_ == State::kDone; }
+
+  // Valid once finished(); moves the result out.
+  Result<QueryResult> TakeResult();
+
+ private:
+  enum class State {
+    kStart,
+    kBuildRead,
+    kBuildFinish,
+    kPrepareScan,
+    kScan,
+    kFinish,
+    kDone,
+  };
+
+  StepOutcome StepStart();
+  StepOutcome StepBuildRead();
+  StepOutcome StepBuildFinish();
+  StepOutcome StepPrepareScan();
+  StepOutcome StepScan();
+  StepOutcome StepFinish();
+  StepOutcome FailWith(const Status& error);
+  void CloseSpanForError();
+
+  Database* db_;
+  const exec::BoundQuery* bound_;
+  SimTime start_;
+  obs::Tracer* tracer_ = nullptr;
+
+  State state_ = State::kStart;
+  QueryResult result_;
+  std::optional<Result<QueryResult>> final_result_;
+  StageBreakdown stage_before_;
+  obs::SpanId span_id_ = obs::kNoSpan;
+  bool span_ended_ = false;
+
+  // Join build state.
+  std::optional<exec::JoinHashTableBuilder> builder_;
+  SimTime io_done_ = 0;
+  std::uint64_t build_page_ = 0;
+  std::optional<exec::JoinHashTable> hash_table_;
+
+  // Scan state.
+  std::optional<exec::PageProcessor> processor_;
+  exec::CpuCostParams host_params_{};
+  std::uint64_t hash_entries_ = 0;
+  const storage::ZoneMap* zone_map_ = nullptr;
+  std::map<int, exec::ColumnRange> prune_ranges_;
+  SimTime end_ = 0;
+  SimTime scan_started_ = 0;
+  std::uint64_t page_ = 0;
+  std::uint64_t pages_scanned_ = 0;
+};
+
+// The pushdown path as a state machine: one session protocol unit per
+// step. With `fallback` set it reproduces ExecuteDeviceWithFallback —
+// a retryable device failure records on the circuit breaker and re-runs
+// the query on the host path from the failure time. With
+// `wait_for_grant` set the task parks (waiting_for_grant outcome, no
+// device traffic) instead of issuing an OPEN while the device's session
+// thread pool is empty; the blocking executor passes false and eats the
+// rejection, matching the old behavior.
+class DeviceQueryTask {
+ public:
+  DeviceQueryTask(Database* db, const exec::BoundQuery* bound,
+                  SimTime start, bool fallback, bool wait_for_grant);
+  ~DeviceQueryTask();
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(DeviceQueryTask);
+
+  StepOutcome Step();
+  bool finished() const { return state_ == State::kDone; }
+
+  // Virtual time the device session was torn down at; equals the start
+  // time unless a session actually failed.
+  SimTime failed_at() const { return failed_at_; }
+  bool fell_back() const { return fell_back_; }
+
+  Result<QueryResult> TakeResult();
+
+ private:
+  enum class State { kStart, kSession, kHostRerun, kDone };
+
+  StepOutcome StepStart();
+  StepOutcome StepSession();
+  StepOutcome StepHostRerun();
+  StepOutcome HandleDeviceError(const Status& error);
+  StepOutcome FinishWithError(const Status& error);
+  void CloseSpanForError();
+
+  Database* db_;
+  const exec::BoundQuery* bound_;
+  SimTime start_;
+  bool fallback_;
+  bool wait_for_grant_;
+  obs::Tracer* tracer_ = nullptr;
+
+  State state_ = State::kStart;
+  QueryResult result_;
+  std::optional<Result<QueryResult>> final_result_;
+  StageBreakdown stage_before_;       // device attempt (ExecuteOnDevice)
+  StageBreakdown outer_stage_before_;  // whole query incl. fallback
+  obs::SpanId span_id_ = obs::kNoSpan;
+  bool span_ended_ = false;
+
+  std::optional<exec::PushdownProgram> program_;
+  std::unique_ptr<smart::SessionTask> session_;
+  bool session_started_ = false;
+  SimTime failed_at_ = 0;
+  bool fell_back_ = false;
+  Status device_error_ = Status::OK();
+  std::optional<HostQueryTask> host_rerun_;
+};
+
+// A whole submitted query: binds the spec, picks the target (explicit,
+// or the pushdown planner when constructed with hints), and delegates to
+// the host or device task. This is the unit the workload scheduler
+// drives. `spec` must outlive the task (keep specs at stable addresses).
+class QueryTask {
+ public:
+  // Explicit target, as QueryExecutor::Execute.
+  QueryTask(Database* db, const exec::QuerySpec* spec,
+            ExecutionTarget target, SimTime start, bool wait_for_grant);
+  // Planner-chosen target, as QueryExecutor::ExecuteAuto.
+  QueryTask(Database* db, const exec::QuerySpec* spec,
+            const PlanHints& hints, SimTime start, bool wait_for_grant);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(QueryTask);
+
+  StepOutcome Step();
+  bool finished() const { return state_ == State::kDone; }
+  SimTime start() const { return start_; }
+  const exec::QuerySpec& spec() const { return *spec_; }
+
+  Result<QueryResult> TakeResult();
+
+ private:
+  enum class State { kPlan, kRun, kDone };
+
+  Database* db_;
+  const exec::QuerySpec* spec_;
+  SimTime start_;
+  bool wait_for_grant_;
+  std::optional<ExecutionTarget> explicit_target_;
+  PlanHints hints_;
+
+  State state_ = State::kPlan;
+  std::optional<exec::BoundQuery> bound_;
+  std::optional<HostQueryTask> host_task_;
+  std::optional<DeviceQueryTask> device_task_;
+  std::optional<Result<QueryResult>> final_result_;
+};
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_QUERY_TASK_H_

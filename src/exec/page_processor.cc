@@ -619,59 +619,74 @@ Status PageProcessor::Finish(OpCounts* counts, std::vector<std::byte>* out) {
   return Status::OK();
 }
 
+JoinHashTableBuilder::JoinHashTableBuilder(const BoundQuery* bound)
+    : bound_(bound),
+      table_(bound->payload_width, bound->inner->tuple_count),
+      payload_(bound->payload_width) {
+  SMARTSSD_CHECK(bound->spec->join.has_value());
+}
+
+Status JoinHashTableBuilder::AddPage(std::span<const std::byte> page) {
+  const JoinSpec& join = *bound_->spec->join;
+  const storage::TableInfo& inner = *bound_->inner;
+  ++counts_.pages;
+  ++pages_added_;
+  auto insert_tuple = [&](const expr::RowView& view,
+                          auto col_bytes) -> Status {
+    ++counts_.tuples;
+    ++counts_.eval.column_reads;
+    const std::int64_t key = view.GetColumn(join.inner_key_col).AsInt();
+    std::size_t offset = 0;
+    for (const int col : join.inner_payload_cols) {
+      ++counts_.eval.column_reads;
+      const std::uint32_t width = inner.schema.column(col).width;
+      std::memcpy(payload_.data() + offset, col_bytes(col), width);
+      offset += width;
+    }
+    ++counts_.hash_inserts;
+    return table_.Insert(key, payload_);
+  };
+  if (inner.layout == storage::PageLayout::kNsm) {
+    SMARTSSD_ASSIGN_OR_RETURN(
+        const storage::NsmPageReader reader,
+        storage::NsmPageReader::Open(&inner.schema, page));
+    for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+      const std::byte* tuple = reader.tuple(i);
+      expr::NsmRowView view(&inner.schema, tuple);
+      SMARTSSD_RETURN_IF_ERROR(insert_tuple(view, [&](int col) {
+        return tuple + inner.schema.offset(col);
+      }));
+    }
+  } else {
+    SMARTSSD_ASSIGN_OR_RETURN(
+        const storage::PaxPageReader reader,
+        storage::PaxPageReader::Open(&inner.schema, page));
+    for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+      expr::PaxRowView view(&inner.schema, &reader, i);
+      SMARTSSD_RETURN_IF_ERROR(insert_tuple(
+          view, [&](int col) { return reader.value(i, col); }));
+    }
+  }
+  return Status::OK();
+}
+
+JoinHashTable JoinHashTableBuilder::TakeTable() {
+  return std::move(table_);
+}
+
 Result<JoinHashTable> BuildJoinHashTable(
     const BoundQuery& bound,
     const std::function<Result<std::span<const std::byte>>(
         std::uint64_t page_index)>& read_page,
     OpCounts* counts) {
-  SMARTSSD_CHECK(bound.spec->join.has_value());
-  const JoinSpec& join = *bound.spec->join;
   const storage::TableInfo& inner = *bound.inner;
-  JoinHashTable table(bound.payload_width, inner.tuple_count);
-  std::vector<std::byte> payload(bound.payload_width);
-
+  JoinHashTableBuilder builder(&bound);
   for (std::uint64_t p = 0; p < inner.page_count; ++p) {
     SMARTSSD_ASSIGN_OR_RETURN(std::span<const std::byte> page, read_page(p));
-    ++counts->pages;
-    auto insert_tuple = [&](const expr::RowView& view,
-                            auto col_bytes) -> Status {
-      ++counts->tuples;
-      ++counts->eval.column_reads;
-      const std::int64_t key =
-          view.GetColumn(join.inner_key_col).AsInt();
-      std::size_t offset = 0;
-      for (const int col : join.inner_payload_cols) {
-        ++counts->eval.column_reads;
-        const std::uint32_t width = inner.schema.column(col).width;
-        std::memcpy(payload.data() + offset, col_bytes(col), width);
-        offset += width;
-      }
-      ++counts->hash_inserts;
-      return table.Insert(key, payload);
-    };
-    if (inner.layout == storage::PageLayout::kNsm) {
-      SMARTSSD_ASSIGN_OR_RETURN(
-          const storage::NsmPageReader reader,
-          storage::NsmPageReader::Open(&inner.schema, page));
-      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
-        const std::byte* tuple = reader.tuple(i);
-        expr::NsmRowView view(&inner.schema, tuple);
-        SMARTSSD_RETURN_IF_ERROR(insert_tuple(view, [&](int col) {
-          return tuple + inner.schema.offset(col);
-        }));
-      }
-    } else {
-      SMARTSSD_ASSIGN_OR_RETURN(
-          const storage::PaxPageReader reader,
-          storage::PaxPageReader::Open(&inner.schema, page));
-      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
-        expr::PaxRowView view(&inner.schema, &reader, i);
-        SMARTSSD_RETURN_IF_ERROR(insert_tuple(
-            view, [&](int col) { return reader.value(i, col); }));
-      }
-    }
+    SMARTSSD_RETURN_IF_ERROR(builder.AddPage(page));
   }
-  return table;
+  *counts += builder.counts();
+  return builder.TakeTable();
 }
 
 }  // namespace smartssd::exec

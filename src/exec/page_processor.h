@@ -126,10 +126,39 @@ class PageProcessor {
   std::vector<std::uint32_t> group_idx_;        // per-lane group index
 };
 
+// Incremental join-table construction: the caller feeds inner-table
+// pages one at a time (in page order) and takes the finished table when
+// the last page is in. Splitting the build this way lets a resumable
+// query task yield between inner pages, so co-running queries interleave
+// on the I/O path even during the build phase; the op counts are
+// byte-identical to a one-shot build over the same pages.
+class JoinHashTableBuilder {
+ public:
+  explicit JoinHashTableBuilder(const BoundQuery* bound);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(JoinHashTableBuilder);
+
+  // Hashes one inner page's tuples into the table.
+  Status AddPage(std::span<const std::byte> page);
+
+  std::uint64_t pages_added() const { return pages_added_; }
+  const OpCounts& counts() const { return counts_; }
+
+  // Moves the finished table out; the builder is then spent.
+  JoinHashTable TakeTable();
+
+ private:
+  const BoundQuery* bound_;
+  JoinHashTable table_;
+  std::vector<std::byte> payload_;
+  OpCounts counts_;
+  std::uint64_t pages_added_ = 0;
+};
+
 // Builds the join hash table by scanning the inner table's pages through
 // `read_page` (the caller decides whether pages arrive via the host path
 // or the device-internal path — and charges that I/O accordingly).
-// Counts the build work into `counts`.
+// Counts the build work into `counts`. One-shot convenience over
+// JoinHashTableBuilder.
 Result<JoinHashTable> BuildJoinHashTable(
     const BoundQuery& bound,
     const std::function<Result<std::span<const std::byte>>(

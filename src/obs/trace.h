@@ -173,6 +173,30 @@ class ScopedSpan {
   bool ended_ = true;
 };
 
+// Scope attribution for resumable tasks. A ScopedSpan keeps its span on
+// the scope stack for its whole lifetime, which only works for strictly
+// nested (run-to-completion) execution: two interleaved query tasks
+// would pop each other's scopes. A task instead opens its span with
+// Begin(), holds the id across steps, and brackets *each step* with a
+// ScopeGuard — events recorded during the step are attributed to the
+// task's span, the stack is balanced at every step boundary, and
+// interleaved tasks never see each other's scopes. Null-tracer and
+// kNoSpan guards are no-ops.
+class ScopeGuard {
+ public:
+  ScopeGuard(Tracer* tracer, SpanId id)
+      : tracer_(id != kNoSpan ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->PushScope(id);
+  }
+  ~ScopeGuard() {
+    if (tracer_ != nullptr) tracer_->PopScope();
+  }
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(ScopeGuard);
+
+ private:
+  Tracer* tracer_;
+};
+
 }  // namespace smartssd::obs
 
 #endif  // SMARTSSD_OBS_TRACE_H_

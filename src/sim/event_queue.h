@@ -39,6 +39,14 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  // Virtual time of the earliest pending event; calling this on an
+  // empty queue is a programmer error (check empty() first). Schedulers
+  // use it to decide whether a deadline falls before the next event.
+  SimTime NextEventTime() const {
+    SMARTSSD_CHECK(!heap_.empty());
+    return heap_.top().when;
+  }
+
   // Runs the earliest event, advancing the clock to its time. Returns
   // false if there was nothing to run.
   bool RunOne() {

@@ -1,66 +1,11 @@
 #include "smart/runtime.h"
 
 #include <algorithm>
-#include <vector>
+#include <utility>
 
-#include "smart/result_queue.h"
+#include "smart/session_task.h"
 
 namespace smartssd::smart {
-
-namespace {
-
-// Adapter exposing the device to a program, with DRAM bookkeeping so the
-// runtime can release everything the session allocated at CLOSE.
-class SessionServices : public DeviceServices {
- public:
-  explicit SessionServices(ssd::SsdDevice* device) : device_(device) {}
-
-  ~SessionServices() override {
-    if (allocated_ > 0) device_->ReleaseDeviceDram(allocated_);
-  }
-
-  std::uint32_t page_size() const override { return device_->page_size(); }
-
-  Result<SimTime> ReadInternal(std::uint64_t lpn, SimTime ready) override {
-    return device_->InternalReadPageTiming(lpn, ready);
-  }
-
-  std::span<const std::byte> ViewPage(std::uint64_t lpn) const override {
-    return device_->ViewPage(lpn);
-  }
-
-  SimTime Execute(std::uint64_t cycles, SimTime ready) override {
-    return device_->ExecuteOnDevice(cycles, ready);
-  }
-
-  Status AllocateDram(std::uint64_t bytes) override {
-    SMARTSSD_RETURN_IF_ERROR(device_->AllocateDeviceDram(bytes));
-    allocated_ += bytes;
-    return Status::OK();
-  }
-
- private:
-  ssd::SsdDevice* device_;
-  std::uint64_t allocated_ = 0;
-};
-
-// Collects the bytes a program emits during one callback; the runtime
-// stamps them with the callback's completion time afterwards (output
-// becomes visible when the work that produced it retires).
-class BufferingSink : public ResultSink {
- public:
-  void Emit(std::span<const std::byte> bytes) override {
-    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
-  }
-
-  std::span<const std::byte> bytes() const { return buffer_; }
-  void Clear() { buffer_.clear(); }
-
- private:
-  std::vector<std::byte> buffer_;
-};
-
-}  // namespace
 
 SmartSsdRuntime::SmartSsdRuntime(ssd::SsdDevice* device) : device_(device) {
   SMARTSSD_CHECK(device != nullptr);
@@ -74,23 +19,29 @@ void SmartSsdRuntime::AttachTracer(obs::Tracer* tracer,
   }
 }
 
+std::unique_ptr<SessionTask> SmartSsdRuntime::StartSession(
+    InSsdProgram& program, const PollingPolicy& policy, SimTime start,
+    std::vector<std::byte>* host_output) {
+  return std::unique_ptr<SessionTask>(
+      new SessionTask(this, &program, policy, start, host_output));
+}
+
 Result<SessionStats> SmartSsdRuntime::RunSession(
     InSsdProgram& program, const PollingPolicy& policy, SimTime start,
     std::vector<std::byte>* host_output, SimTime* failed_at) {
   const std::uint64_t dram_free_before = device_->device_dram_free();
-  SimTime fail_time = start;
-  Result<SessionStats> result =
-      RunSessionImpl(program, policy, start, host_output, &fail_time);
-  ++sessions_run_;
-  if (!result.ok()) {
-    ++sessions_failed_;
-    if (failed_at != nullptr) *failed_at = fail_time;
-    if (tracer_ != nullptr) {
-      tracer_->Instant(
-          track_, "session failed", "protocol", fail_time,
-          {obs::Arg::Str("code", StatusCodeToString(result.status().code())),
-           obs::Arg::Str("error", result.status().message())});
+  std::unique_ptr<SessionTask> task =
+      StartSession(program, policy, start, host_output);
+  Status error = Status::OK();
+  while (!task->finished()) {
+    Result<SimTime> step = task->Step();
+    if (!step.ok()) {
+      error = step.status();
+      break;
     }
+  }
+  if (task->failed() && failed_at != nullptr) {
+    *failed_at = task->fail_time();
   }
   // Session-leak check: every grant the session took — DRAM for hash
   // tables and buffers, accounted by SessionServices — must be back,
@@ -100,168 +51,39 @@ Result<SessionStats> SmartSsdRuntime::RunSession(
   if (device_->device_dram_free() != dram_free_before) {
     return InternalError("smart session leaked device resource grants");
   }
-  return result;
+  if (!error.ok()) return error;
+  return task->stats();
 }
 
-Result<SessionStats> SmartSsdRuntime::RunSessionImpl(
-    InSsdProgram& program, const PollingPolicy& policy, SimTime start,
-    std::vector<std::byte>* host_output, SimTime* fail_time) {
-  SessionStats stats;
-  stats.session_id = next_session_id_++;
-  stats.open_issued = start;
-  sim::FaultInjector& faults = device_->fault_injector();
+void SmartSsdRuntime::NoteSessionBegin() {
+  if (active_sessions_ == 0) {
+    idle_dram_free_ = device_->device_dram_free();
+  }
+  ++active_sessions_;
+  max_active_sessions_ = std::max(max_active_sessions_, active_sessions_);
+}
 
-  // --- OPEN: command round + resource grant + program build phase ---
-  SimTime t = device_->HostCommand(start);
-  *fail_time = t;
-  if (faults.OnEvent(sim::FaultKind::kOpenRejected, t)) {
-    return ResourceExhaustedError(
-        "OPEN rejected by the device (injected fault)");
-  }
-  SessionServices services(device_);
-  const std::uint64_t dram_needed = program.DramBytesRequired();
-  if (dram_needed > 0) {
-    SMARTSSD_RETURN_IF_ERROR(services.AllocateDram(dram_needed));
-  }
-  SMARTSSD_ASSIGN_OR_RETURN(SimTime open_done, program.Open(services, t));
-  open_done = std::max(open_done, t);
-  stats.open_done = open_done;
-  *fail_time = open_done;
-  if (tracer_ != nullptr) {
-    tracer_->Complete(track_, "OPEN", "protocol", start, open_done,
-                      {obs::Arg::Uint("session", stats.session_id),
-                       obs::Arg::Uint("dram_bytes", dram_needed)});
-  }
-
-  // --- Device-side processing: stream the input extents ---
-  ResultQueue queue(device_->page_size());
-  BufferingSink sink;
-  SimTime processing_done = open_done;
-  for (const LpnRange& extent : program.InputExtents()) {
-    for (std::uint64_t i = 0; i < extent.count; ++i) {
-      const std::uint64_t lpn = extent.first_lpn + i;
-      SMARTSSD_ASSIGN_OR_RETURN(
-          const SimTime in_dram,
-          device_->InternalReadPageTiming(lpn, open_done));
-      sink.Clear();
-      SMARTSSD_ASSIGN_OR_RETURN(
-          const ProgramCharge charge,
-          program.ProcessPage(device_->ViewPage(lpn), sink));
-      const SimTime done = device_->ExecuteOnDevice(charge.cycles, in_dram);
-      if (faults.OnEvent(sim::FaultKind::kDeviceReset, done)) {
-        *fail_time = done + kDeviceResetRecovery;
-        return AbortedError("device reset mid-session (injected fault)");
-      }
-      if (faults.OnEvent(sim::FaultKind::kResultQueueOverflow, done)) {
-        *fail_time = done;
-        return ResourceExhaustedError(
-            "device result queue overflow (injected fault)");
-      }
-      queue.Append(sink.bytes(), done);
-      stats.embedded_cycles += charge.cycles;
-      ++stats.pages_processed;
-      processing_done = std::max(processing_done, done);
-      *fail_time = processing_done;
-    }
-  }
-  sink.Clear();
-  SMARTSSD_ASSIGN_OR_RETURN(const ProgramCharge final_charge,
-                            program.Finish(sink));
-  processing_done =
-      device_->ExecuteOnDevice(final_charge.cycles, processing_done);
-  stats.embedded_cycles += final_charge.cycles;
-  queue.Append(sink.bytes(), processing_done);
-  queue.Flush(processing_done);
-  stats.processing_done = processing_done;
-  *fail_time = processing_done;
-  if (tracer_ != nullptr) {
-    tracer_->Complete(
-        track_, "process extents", "protocol", open_done, processing_done,
-        {obs::Arg::Uint("pages", stats.pages_processed),
-         obs::Arg::Uint("embedded_cycles", stats.embedded_cycles)});
-  }
-
-  // --- GET polling: the host drains results as they become ready,
-  // backing off while the device reports nothing and re-issuing (within
-  // the retry budget) GETs whose responses stall. ---
-  SimTime poll_time = open_done;
-  SimTime last_transfer = open_done;
-  SimDuration interval = policy.min_poll_interval;
-  std::uint32_t retries_left = policy.session_retry_budget;
-  for (;;) {
-    const SimTime get_issued = poll_time;
-    poll_time = device_->HostCommand(poll_time);  // the GET itself
-    ++stats.gets_issued;
-    *fail_time = poll_time;
-    if (faults.OnEvent(sim::FaultKind::kDeviceReset, poll_time)) {
-      *fail_time = poll_time + kDeviceResetRecovery;
-      return AbortedError("device reset mid-session (injected fault)");
-    }
-    if (faults.OnEvent(sim::FaultKind::kGetStall, poll_time)) {
-      // The response never arrives: the host times out and re-issues,
-      // burning one unit of the session retry budget.
-      if (retries_left == 0) {
-        *fail_time = poll_time + policy.get_timeout;
-        return IoError("GET stalled; session retry budget exhausted");
-      }
-      --retries_left;
-      ++stats.get_retries;
-      if (tracer_ != nullptr) {
-        tracer_->Instant(track_, "GET stall", "protocol", poll_time,
-                         {obs::Arg::Uint("retries_left", retries_left)});
-      }
-      poll_time += policy.get_timeout;
-      interval = policy.min_poll_interval;
-      continue;
-    }
-    bool transferred = false;
-    ResultChunk chunk;
-    while (queue.PopReady(poll_time, &chunk)) {
-      if (faults.OnBytes(sim::FaultKind::kTransferError, chunk.data.size(),
-                         poll_time)) {
-        *fail_time = poll_time;
-        return IoError(
-            "result transfer failed on the host interface (injected "
-            "fault)");
-      }
-      poll_time = device_->TransferToHost(chunk.data.size(), poll_time);
-      if (host_output != nullptr) {
-        host_output->insert(host_output->end(), chunk.data.begin(),
-                            chunk.data.end());
-      }
-      stats.result_bytes += chunk.data.size();
-      last_transfer = poll_time;
-      transferred = true;
-    }
+void SmartSsdRuntime::NoteSessionFinished(bool failed, SimTime fail_time,
+                                          const Status& status) {
+  ++sessions_run_;
+  if (failed) {
+    ++sessions_failed_;
     if (tracer_ != nullptr) {
-      tracer_->Complete(track_, "GET", "protocol", get_issued, poll_time,
-                        {obs::Arg::Uint("delivered", transferred ? 1 : 0)});
-    }
-    if (queue.pending_chunks() == 0 && poll_time >= processing_done) {
-      // This GET saw the program finished with nothing left to deliver.
-      break;
-    }
-    if (transferred) {
-      interval = policy.min_poll_interval;
-    } else {
-      if (tracer_ != nullptr) {
-        tracer_->Instant(track_, "poll backoff", "protocol", poll_time,
-                         {obs::Arg::Uint("interval_ns", interval)});
-      }
-      poll_time += interval;
-      interval = policy.NextInterval(interval);
+      tracer_->Instant(
+          track_, "session failed", "protocol", fail_time,
+          {obs::Arg::Str("code", StatusCodeToString(status.code())),
+           obs::Arg::Str("error", status.message())});
     }
   }
-  stats.last_transfer_done = last_transfer;
+}
 
-  // --- CLOSE: tear down, free grants (via ~SessionServices) ---
-  stats.close_done = device_->HostCommand(poll_time);
-  if (tracer_ != nullptr) {
-    tracer_->Complete(track_, "CLOSE", "protocol", poll_time,
-                      stats.close_done,
-                      {obs::Arg::Uint("session", stats.session_id)});
+void SmartSsdRuntime::NoteSessionRetired() {
+  SMARTSSD_CHECK_GT(active_sessions_, 0);
+  --active_sessions_;
+  if (active_sessions_ == 0 &&
+      device_->device_dram_free() != idle_dram_free_) {
+    leak_detected_ = true;
   }
-  return stats;
 }
 
 }  // namespace smartssd::smart

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
@@ -12,6 +13,8 @@
 #include "ssd/ssd_device.h"
 
 namespace smartssd::smart {
+
+class SessionTask;
 
 // Everything a completed session reports back to the host-side executor.
 struct SessionStats {
@@ -37,9 +40,18 @@ struct SessionStats {
 // internal data path, schedules its per-page work on the embedded cores,
 // and delivers its output to the host through polled GET commands.
 //
-// RunSession executes the whole OPEN -> GET* -> CLOSE exchange and
-// returns the timeline. The host result bytes are appended to
-// `host_output` exactly as the GET responses deliver them.
+// Two driving modes share one protocol implementation (SessionTask):
+//
+//   * RunSession — the blocking single-session API: executes the whole
+//     OPEN -> GET* -> CLOSE exchange and returns the timeline. The host
+//     result bytes are appended to `host_output` exactly as the GET
+//     responses deliver them.
+//   * StartSession — the resumable multi-session API: returns a
+//     SessionTask the caller advances one protocol unit at a time, so a
+//     workload scheduler can interleave many live sessions on the shared
+//     device resources. Every open session holds one firmware thread
+//     grant (session_slots_free()); callers should park new sessions
+//     while the pool is empty rather than eat an OPEN rejection.
 //
 // Failure semantics: the session protocol survives recoverable faults
 // (stalled GETs within the retry budget) and turns everything else —
@@ -61,10 +73,35 @@ class SmartSsdRuntime {
                                   std::vector<std::byte>* host_output,
                                   SimTime* failed_at = nullptr);
 
+  // Opens a resumable session. No device traffic happens until the first
+  // Step(); the task borrows `program` and `host_output` for its
+  // lifetime. Destroying an unfinished task releases its grants.
+  std::unique_ptr<SessionTask> StartSession(
+      InSsdProgram& program, const PollingPolicy& policy, SimTime start,
+      std::vector<std::byte>* host_output);
+
   ssd::SsdDevice& device() { return *device_; }
+
+  // Firmware thread grants still available for new sessions. A scheduler
+  // holds queries at the host while this is 0 (Section 3: OPEN grants a
+  // thread, and the pool is what bounds in-device concurrency).
+  int session_slots_free() const {
+    return device_->session_threads_free();
+  }
 
   std::uint64_t sessions_run() const { return sessions_run_; }
   std::uint64_t sessions_failed() const { return sessions_failed_; }
+  // Sessions currently holding a firmware thread grant (OPEN granted,
+  // not yet retired), and the high-water mark — the device's actual
+  // in-flight concurrency, bounded by session_threads.
+  int active_sessions() const { return active_sessions_; }
+  int max_active_sessions() const { return max_active_sessions_; }
+
+  // True if a completed multi-session epoch left device DRAM grants
+  // unreturned (checked whenever the live-session count returns to
+  // zero). The blocking RunSession path reports the same condition as an
+  // InternalError instead.
+  bool session_leak_detected() const { return leak_detected_; }
 
   // Records the protocol timeline — OPEN/GET/CLOSE spans, poll backoff
   // and stall instants, session failures — on a "session" lane under
@@ -73,16 +110,22 @@ class SmartSsdRuntime {
   void AttachTracer(obs::Tracer* tracer, std::string_view process);
 
  private:
-  Result<SessionStats> RunSessionImpl(InSsdProgram& program,
-                                      const PollingPolicy& policy,
-                                      SimTime start,
-                                      std::vector<std::byte>* host_output,
-                                      SimTime* fail_time);
+  friend class SessionTask;
+
+  // Session lifecycle accounting, called by SessionTask.
+  void NoteSessionBegin();
+  void NoteSessionFinished(bool failed, SimTime fail_time,
+                           const Status& status);
+  void NoteSessionRetired();
 
   ssd::SsdDevice* device_;
   SessionId next_session_id_ = 1;
   std::uint64_t sessions_run_ = 0;
   std::uint64_t sessions_failed_ = 0;
+  int active_sessions_ = 0;
+  int max_active_sessions_ = 0;
+  std::uint64_t idle_dram_free_ = 0;
+  bool leak_detected_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
 };

@@ -46,6 +46,13 @@ struct EmbeddedCpuConfig {
   // Low-power in-order cores (ARM-class), as in Section 2.
   int cores = 3;
   std::uint64_t clock_hz = 400ull * 1000 * 1000;  // 400 MHz
+  // Concurrent Smart SSD sessions the firmware will grant a thread to
+  // (Section 3's OPEN grants "a thread and some amount of memory"; the
+  // thread pool is what bounds in-device concurrency). 0 means one
+  // session thread per core. An OPEN past the limit is rejected with
+  // RESOURCE_EXHAUSTED and the host queues the query until a grant
+  // frees.
+  int session_threads = 0;
 };
 
 struct SsdConfig {

@@ -138,6 +138,20 @@ void SsdDevice::ReleaseDeviceDram(std::uint64_t bytes) {
   dram_used_ -= bytes;
 }
 
+Status SsdDevice::AcquireSessionThread() {
+  if (session_threads_free() <= 0) {
+    return ResourceExhaustedError(
+        "OPEN rejected: all session thread grants are held");
+  }
+  ++session_threads_used_;
+  return Status::OK();
+}
+
+void SsdDevice::ReleaseSessionThread() {
+  SMARTSSD_CHECK_GT(session_threads_used_, 0);
+  --session_threads_used_;
+}
+
 void SsdDevice::AttachTracer(obs::Tracer* tracer,
                              std::string_view process) {
   array_->AttachTracer(tracer, process);

@@ -88,6 +88,23 @@ class SsdDevice : public BlockDevice {
     return config_.dram.capacity_bytes - dram_used_;
   }
 
+  // Session thread grants: every open Smart SSD session holds one
+  // firmware thread (Section 3's OPEN grants a thread + memory). The
+  // pool size is config().embedded_cpu.session_threads (0 = one per
+  // embedded core); when it is empty, further OPENs are rejected with
+  // RESOURCE_EXHAUSTED and the host queues the query until a grant
+  // frees.
+  Status AcquireSessionThread();
+  void ReleaseSessionThread();
+  int session_threads_total() const {
+    return config_.embedded_cpu.session_threads > 0
+               ? config_.embedded_cpu.session_threads
+               : config_.embedded_cpu.cores;
+  }
+  int session_threads_free() const {
+    return session_threads_total() - session_threads_used_;
+  }
+
   const SsdConfig& config() const { return config_; }
   flash::FlashArray& flash_array() { return *array_; }
   const flash::FlashArray& flash_array() const { return *array_; }
@@ -136,6 +153,7 @@ class SsdDevice : public BlockDevice {
   std::unique_ptr<sim::ParallelServer> embedded_;   // ARM cores
   SimDuration dma_page_time_ = 0;
   std::uint64_t dram_used_ = 0;
+  int session_threads_used_ = 0;
 };
 
 }  // namespace smartssd::ssd
