@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -152,7 +153,20 @@ class JsonReporter {
            double paper_ratio, double measured_ratio) {
     if (!enabled()) return;
     rows_.push_back(Row{std::string(config), virtual_seconds, paper_ratio,
-                        measured_ratio, NAN});
+                        measured_ratio, NAN, {}});
+  }
+
+  // Robustness-aware variant: attaches a flat name->value counter map
+  // serialized as an extra "counters" object (hedge launches, breaker
+  // trips, re-dispatches, ...). Rows added without counters keep the
+  // existing JSON schema.
+  void AddWithCounters(
+      std::string_view config, double virtual_seconds, double paper_ratio,
+      double measured_ratio,
+      std::vector<std::pair<std::string, double>> counters) {
+    if (!enabled()) return;
+    rows_.push_back(Row{std::string(config), virtual_seconds, paper_ratio,
+                        measured_ratio, NAN, std::move(counters)});
   }
 
   // Wall-clock variant: also records rows/sec. The extra field is only
@@ -163,7 +177,7 @@ class JsonReporter {
                double rows_per_sec) {
     if (!enabled()) return;
     rows_.push_back(Row{std::string(config), wall_seconds, paper_ratio,
-                        measured_ratio, rows_per_sec});
+                        measured_ratio, rows_per_sec, {}});
   }
 
   void Write() {
@@ -187,6 +201,15 @@ class JsonReporter {
       if (!std::isnan(row.rows_per_sec)) {
         std::fprintf(f, ",\"rows_per_sec\":%.9g", row.rows_per_sec);
       }
+      if (!row.counters.empty()) {
+        std::fprintf(f, ",\"counters\":{");
+        for (std::size_t c = 0; c < row.counters.size(); ++c) {
+          std::fprintf(f, "%s\"%s\":%.9g", c > 0 ? "," : "",
+                       JsonEscape(row.counters[c].first).c_str(),
+                       row.counters[c].second);
+        }
+        std::fprintf(f, "}");
+      }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
@@ -201,6 +224,7 @@ class JsonReporter {
     double paper_ratio;
     double measured_ratio;
     double rows_per_sec;  // NAN = virtual-time row, field omitted
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   static void WriteRatio(std::FILE* f, double v) {

@@ -1,21 +1,18 @@
 // Extension experiment: an array of Smart SSDs as a parallel DBMS —
 // Section 4.3's end-of-spectrum vision ("the host machine could simply
 // be the coordinator that stages computation across an array of Smart
-// SSDs"). LINEITEM is partitioned across N workers; Q6 is dispatched to
-// every device's embedded engine and the 8-byte partials are merged on
-// the host. Because pushdown leaves the host idle and each device owns
-// its data, scaling is near-linear until the coordinator's merge work
-// matters (it never does for aggregates).
+// SSDs"). LINEITEM is partitioned across N devices; Q6 is scattered by
+// the fault-tolerant FleetCoordinator to every device's embedded engine
+// and the 8-byte partials are merged on the host in partition order.
+// Because pushdown leaves the host idle and each device owns its data,
+// scaling is near-linear until the coordinator's merge work matters (it
+// never does for aggregates).
 
 #include <cstdio>
 
-#include <cstring>
-#include <memory>
-#include <vector>
-
 #include "bench/bench_util.h"
-#include "engine/parallel.h"
-#include "storage/nsm_page.h"
+#include "engine/executor.h"
+#include "engine/fleet.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
 
@@ -28,7 +25,7 @@ constexpr double kScaleUp = 100.0 / kScaleFactor;
 
 int main() {
   bench::PrintHeader(
-      "Scale-out: Q6 across an array of 1..8 Smart SSDs",
+      "Scale-out: Q6 across a fleet of 1..8 Smart SSDs",
       "the Section 4.3 'parallel DBMS of Smart SSDs' discussion");
 
   // Single regular-SSD host baseline.
@@ -46,65 +43,34 @@ int main() {
   std::printf("baseline: 1x SAS SSD, host execution: %.1f s (SF100)\n\n",
               host_seconds * kScaleUp);
 
-  std::printf("%-10s %14s %16s %14s\n", "workers", "Q6 (SF100 s)",
+  std::printf("%-10s %14s %16s %14s\n", "devices", "Q6 (SF100 s)",
               "vs 1 smart SSD", "vs host SSD");
   bench::PrintRule();
-  double one_worker_seconds = 0;
-  for (const int workers : {1, 2, 4, 8}) {
-    engine::ParallelDatabase cluster(
-        workers, engine::DatabaseOptions::PaperSmartSsd());
-    // Regenerate LINEITEM deterministically and split it by global row
-    // ranges: identical data at every cluster size.
-    const storage::Schema schema = tpch::LineitemSchema();
-    const std::uint64_t rows = tpch::LineitemRows(kScaleFactor);
-    // Materialize-and-replay (the tpch generator is sequential).
-    auto buffer = std::make_shared<std::vector<std::byte>>(
-        rows * schema.tuple_size());
-    {
-      engine::Database scratch(engine::DatabaseOptions::PaperSmartSsd());
-      auto info = bench::Unwrap(
-          tpch::LoadLineitem(scratch, "lineitem", kScaleFactor,
-                             storage::PageLayout::kNsm),
-          "scratch load");
-      std::vector<std::byte> page(scratch.device().page_size());
-      std::uint64_t row = 0;
-      for (std::uint64_t p = 0; p < info.page_count; ++p) {
-        bench::Unwrap(
-            scratch.device().ReadPages(info.first_lpn + p, 1, page, 0),
-            "scratch read");
-        auto reader = storage::NsmPageReader::Open(&schema, page);
-        bench::Check(reader.status(), "page open");
-        for (std::uint16_t i = 0; i < reader->tuple_count(); ++i, ++row) {
-          std::memcpy(buffer->data() + row * schema.tuple_size(),
-                      reader->tuple(i), schema.tuple_size());
-        }
-      }
-    }
-    const std::uint32_t tuple_size = schema.tuple_size();
-    storage::RowGenerator raw_gen =
-        [buffer, tuple_size](std::uint64_t row,
-                             storage::TupleWriter& writer) {
-          writer.CopyFrom({buffer->data() + row * tuple_size, tuple_size});
-        };
-    bench::Check(cluster.LoadPartitionedTable(
-                     "lineitem", schema, storage::PageLayout::kPax, rows,
-                     raw_gen),
+  double one_device_seconds = 0;
+  for (const int devices : {1, 2, 4, 8}) {
+    engine::Fleet fleet(devices,
+                        engine::DatabaseOptions::PaperSmartSsd());
+    // Identical rows at every fleet size: the loader materializes the
+    // sequential tpch stream once and splits it by global row ranges.
+    bench::Check(tpch::LoadLineitemFleet(fleet, "lineitem", kScaleFactor,
+                                         storage::PageLayout::kPax),
                  "partitioned load");
 
-    cluster.ResetForColdRun();
+    const exec::QuerySpec spec = tpch::Q6Spec("lineitem");
+    fleet.ResetForColdRun();
     auto result = bench::Unwrap(
-        cluster.Execute(tpch::Q6Spec("lineitem"),
-                        engine::ExecutionTarget::kSmartSsd),
-        "cluster Q6");
+        engine::ExecuteOnFleet(fleet, spec,
+                               engine::ExecutionTarget::kSmartSsd),
+        "fleet Q6");
     const double seconds = result.elapsed_seconds();
-    if (workers == 1) one_worker_seconds = seconds;
-    std::printf("%-10d %13.1f %15.2fx %13.2fx\n", workers,
-                seconds * kScaleUp, one_worker_seconds / seconds,
+    if (devices == 1) one_device_seconds = seconds;
+    std::printf("%-10d %13.1f %15.2fx %13.2fx\n", devices,
+                seconds * kScaleUp, one_device_seconds / seconds,
                 host_seconds / seconds);
   }
   bench::PrintRule();
   std::printf(
-      "Shape check: near-linear scaling with workers; 8 Smart SSDs beat "
+      "Shape check: near-linear scaling with devices; 8 Smart SSDs beat "
       "the single-SSD host by >10x, realizing the appliance vision.\n");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "check/spec_print.h"
 #include "check/table_gen.h"
 #include "engine/executor.h"
+#include "engine/fleet.h"
 #include "engine/parallel.h"
 #include "sim/fault_injector.h"
 
@@ -20,6 +21,7 @@ namespace {
 using engine::Database;
 using engine::DatabaseOptions;
 using engine::ExecutionTarget;
+using engine::Fleet;
 using engine::ParallelDatabase;
 using engine::QueryExecutor;
 
@@ -107,10 +109,32 @@ class DifferentialRunner {
       }
     }
 
+    // Fleet shapes: a uniform 3-device fleet and a heterogeneous
+    // 2-device fleet (device 1 gets a weaker embedded CPU — results
+    // must not care how fast a partition computed). The per-device
+    // fault seeds derive from the spec seed, so replay lines stay
+    // one-line reproducible.
+    fleet3_ = std::make_unique<Fleet>(3, base, /*fleet_seed=*/seed);
+    DatabaseOptions slow = base;
+    slow.ssd.embedded_cpu.cores = 2;
+    slow.ssd.embedded_cpu.clock_hz = 300ull * 1000 * 1000;
+    fleet_het2_ = std::make_unique<Fleet>(
+        std::vector<DatabaseOptions>{base, slow}, /*fleet_seed=*/seed);
+    SMARTSSD_CHECK(LoadTablesFleet(*fleet3_, gen_.tables,
+                                   storage::PageLayout::kNsm)
+                       .ok());
+    SMARTSSD_CHECK(LoadTablesFleet(*fleet_het2_, gen_.tables,
+                                   storage::PageLayout::kPax)
+                       .ok());
+    SMARTSSD_CHECK(fleet3_->BuildZoneMaps(kOuterTable).ok());
+    SMARTSSD_CHECK(fleet_het2_->BuildZoneMaps(kOuterTable).ok());
+
     db_ref_->AttachTracer(&tracer_ref_, "ref-dev", "ref-host");
     db_ref_vec_->AttachTracer(&tracer_ref_vec_, "refv-dev", "refv-host");
     db_nsm_->AttachTracer(&tracer_nsm_, "nsm-dev", "nsm-host");
     db_pax_->AttachTracer(&tracer_pax_, "pax-dev", "pax-host");
+    fleet3_->AttachTracer(&tracer_fleet3_);
+    fleet_het2_->AttachTracer(&tracer_fleet2_);
   }
 
   int executions() const { return executions_; }
@@ -213,6 +237,48 @@ class DifferentialRunner {
       if (config.fault.has_value()) schedule = MakeSchedule(*config.fault);
       auto out = RunParallel(*config.par, spec, config.name,
                              config.fault.has_value() ? &schedule : nullptr);
+      if (!out.ok()) {
+        return std::make_pair(std::string(config.name),
+                              out.status().ToString());
+      }
+      if (Status diff = CompareOutputs(*ref, *out); !diff.ok()) {
+        return std::make_pair(std::string(config.name), diff.ToString());
+      }
+    }
+
+    // Fleet scatter-gather: every shape must reproduce the single-device
+    // ground truth byte-for-byte — healthy, with a rotating fault on a
+    // rotating device (per-partition host fallback), and with one
+    // device's breaker pre-tripped (breaker-open re-dispatch).
+    struct FleetConfig {
+      const char* name;
+      Fleet* fleet;
+      obs::Tracer* tracer;
+      std::optional<sim::FaultKind> fault;
+      bool pretrip_breaker;
+    };
+    std::vector<FleetConfig> fleets = {
+        {"fleet3-nsm-smart", fleet3_.get(), &tracer_fleet3_, std::nullopt,
+         false},
+        {"fleet2het-pax-smart", fleet_het2_.get(), &tracer_fleet2_,
+         std::nullopt, false},
+    };
+    if (options_.with_faults) {
+      const std::size_t n = std::size(kFaultRotation);
+      fleets.push_back({"fleet3-nsm-smart-fault", fleet3_.get(),
+                        &tracer_fleet3_,
+                        kFaultRotation[(static_cast<std::size_t>(index) + 1) % n],
+                        false});
+      fleets.push_back({"fleet2het-pax-smart-fault", fleet_het2_.get(),
+                        &tracer_fleet2_,
+                        kFaultRotation[(static_cast<std::size_t>(index) + 3) % n],
+                        false});
+      fleets.push_back({"fleet3-nsm-smart-redispatch", fleet3_.get(),
+                        &tracer_fleet3_, std::nullopt, true});
+    }
+    for (const FleetConfig& config : fleets) {
+      auto out = RunFleet(*config.fleet, *config.tracer, spec, config.name,
+                          config.fault, config.pretrip_breaker, index);
       if (!out.ok()) {
         return std::make_pair(std::string(config.name),
                               out.status().ToString());
@@ -355,6 +421,51 @@ class DifferentialRunner {
     return FromParallel(config, result.value());
   }
 
+  Result<ExecutionOutput> RunFleet(Fleet& fleet, obs::Tracer& tracer,
+                                   const exec::QuerySpec& spec,
+                                   const char* config,
+                                   const std::optional<sim::FaultKind>& fault,
+                                   bool pretrip_breaker, int index) {
+    ++executions_;
+    fleet.ResetForColdRun();
+    tracer.Clear();
+    // Breaker state is deterministic per run, never carried across
+    // specs (a previous spec's faults must not steer this one).
+    for (int d = 0; d < fleet.devices(); ++d) {
+      fleet.device(d).circuit_breaker().Reset();
+    }
+    const int target_device = index % fleet.devices();
+    if (fault.has_value()) {
+      fleet.LoadFaultSchedule(target_device, MakeSchedule(*fault));
+    }
+    if (pretrip_breaker) {
+      // Trip one device's breaker so the coordinator re-dispatches its
+      // partition to the host path at admission — the result must not
+      // change by a byte.
+      engine::DeviceCircuitBreaker& breaker =
+          fleet.device(target_device).circuit_breaker();
+      for (std::uint32_t i = 0; i < breaker.config().failure_threshold;
+           ++i) {
+        breaker.RecordFailure(0, "pretrip");
+      }
+    }
+    Result<engine::FleetQueryResult> result =
+        engine::ExecuteOnFleet(fleet, spec, ExecutionTarget::kSmartSsd);
+    fleet.ClearFaults();
+    SMARTSSD_RETURN_IF_ERROR(result.status());
+    if (result->degraded) {
+      return InternalError(
+          "fleet run degraded: every injected fault is recoverable, so "
+          "no partition may go missing");
+    }
+    for (const engine::QueryStats& stats : result->partition_stats) {
+      if (stats.fell_back) ++fallbacks_;
+    }
+    SMARTSSD_RETURN_IF_ERROR(CheckTraceInvariants(tracer));
+    SMARTSSD_RETURN_IF_ERROR(CheckFleetInvariants(fleet));
+    return FromFleet(config, result.value());
+  }
+
   std::uint64_t seed_;
   HarnessOptions options_;
   SpecGenConfig gen_;
@@ -365,10 +476,14 @@ class DifferentialRunner {
   std::unique_ptr<ParallelDatabase> par1_;
   std::unique_ptr<ParallelDatabase> par2_;
   std::unique_ptr<ParallelDatabase> par4_;
+  std::unique_ptr<Fleet> fleet3_;
+  std::unique_ptr<Fleet> fleet_het2_;
   obs::Tracer tracer_ref_;
   obs::Tracer tracer_ref_vec_;
   obs::Tracer tracer_nsm_;
   obs::Tracer tracer_pax_;
+  obs::Tracer tracer_fleet3_;
+  obs::Tracer tracer_fleet2_;
   int executions_ = 0;
   int fallbacks_ = 0;
 };

@@ -90,4 +90,31 @@ Status CheckDatabaseInvariants(const engine::Database& db) {
   return CheckBreakerSanity(db.circuit_breaker());
 }
 
+Status CheckFleetInvariants(const engine::Fleet& fleet) {
+  for (int d = 0; d < fleet.devices(); ++d) {
+    const engine::Database& db = fleet.device(d);
+    if (Status s = CheckDatabaseInvariants(db); !s.ok()) {
+      return InternalError("fleet device " + std::to_string(d) + ": " +
+                           std::string(s.message()));
+    }
+    // The runtime's own leak detector (armed whenever the live-session
+    // count returns to zero) must agree — it also catches abandoned
+    // hedge losers that failed to hand their grants back.
+    const smart::SmartSsdRuntime* runtime = db.runtime();
+    if (runtime != nullptr) {
+      if (runtime->session_leak_detected()) {
+        return InternalError("fleet device " + std::to_string(d) +
+                             ": session grants leaked");
+      }
+      if (runtime->active_sessions() != 0) {
+        return InternalError(
+            "fleet device " + std::to_string(d) + ": " +
+            std::to_string(runtime->active_sessions()) +
+            " session(s) still active after the fleet drained");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace smartssd::check

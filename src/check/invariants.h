@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "engine/circuit_breaker.h"
 #include "engine/database.h"
+#include "engine/fleet.h"
 #include "obs/trace.h"
 
 namespace smartssd::check {
@@ -29,6 +30,12 @@ Status CheckBreakerSanity(const engine::DeviceCircuitBreaker& breaker);
 
 // All database-level invariants (DRAM + breaker) in one call.
 Status CheckDatabaseInvariants(const engine::Database& db);
+
+// Fleet-wide sweep: DRAM-leak, breaker-sanity, and session-leak checks
+// on every device. The error message names the offending device. (Span
+// balance across the fleet's device tracks is CheckTraceInvariants on
+// the tracer the fleet was attached to — all devices share it.)
+Status CheckFleetInvariants(const engine::Fleet& fleet);
 
 }  // namespace smartssd::check
 

@@ -23,6 +23,14 @@ ExecutionOutput FromParallel(std::string config,
                          .aggs = result.agg_values};
 }
 
+ExecutionOutput FromFleet(std::string config,
+                          const engine::FleetQueryResult& result) {
+  return ExecutionOutput{.config = std::move(config),
+                         .schema = result.output_schema,
+                         .rows = result.rows,
+                         .aggs = result.agg_values};
+}
+
 std::string RenderRow(const storage::Schema& schema, const std::byte* row) {
   storage::TupleReader reader(&schema, row);
   std::string out = "(";

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "engine/executor.h"
+#include "engine/fleet.h"
 #include "engine/parallel.h"
 #include "exec/cost_model.h"
 #include "storage/schema.h"
@@ -43,6 +44,8 @@ ExecutionOutput FromQuery(std::string config,
                           const engine::QueryResult& result);
 ExecutionOutput FromParallel(std::string config,
                              const engine::ParallelQueryResult& result);
+ExecutionOutput FromFleet(std::string config,
+                          const engine::FleetQueryResult& result);
 
 // Renders one packed row of `schema` as "(v0, v1, ...)".
 std::string RenderRow(const storage::Schema& schema, const std::byte* row);

@@ -112,6 +112,23 @@ Status LoadTables(engine::Database& db, const TableGenConfig& config,
   return Status::OK();
 }
 
+Status LoadTablesFleet(engine::Fleet& fleet, const TableGenConfig& config,
+                       storage::PageLayout layout) {
+  const storage::Schema outer = OuterSchema();
+  const storage::Schema inner = InnerSchema();
+  SMARTSSD_RETURN_IF_ERROR(fleet.LoadPartitionedTable(
+      kOuterTable, outer, layout, config.outer_rows,
+      MakeGenerator(outer, [&config](std::uint64_t row, int col) {
+        return OuterValue(config, row, col);
+      })));
+  SMARTSSD_RETURN_IF_ERROR(fleet.LoadReplicatedTable(
+      kInnerTable, inner, layout, config.inner_rows,
+      MakeGenerator(inner, [&config](std::uint64_t row, int col) {
+        return InnerValue(config, row, col);
+      })));
+  return Status::OK();
+}
+
 Status LoadTablesPartitioned(engine::ParallelDatabase& db,
                              const TableGenConfig& config,
                              storage::PageLayout layout) {

@@ -29,6 +29,7 @@
 
 #include "common/result.h"
 #include "engine/database.h"
+#include "engine/fleet.h"
 #include "engine/parallel.h"
 #include "storage/schema.h"
 #include "storage/types.h"
@@ -71,6 +72,13 @@ Status LoadTables(engine::Database& db, const TableGenConfig& config,
 Status LoadTablesPartitioned(engine::ParallelDatabase& db,
                              const TableGenConfig& config,
                              storage::PageLayout layout);
+
+// Loads F partitioned and D replicated across a fleet's devices. The
+// generator's purity makes every fleet shape cell-identical to the
+// single-device load, so fleet results can be compared byte-for-byte
+// against single-device ground truth.
+Status LoadTablesFleet(engine::Fleet& fleet, const TableGenConfig& config,
+                       storage::PageLayout layout);
 
 }  // namespace smartssd::check
 

@@ -76,6 +76,7 @@ class Database {
   ssd::SsdDevice* ssd() { return ssd_; }
   const ssd::SsdDevice* ssd() const { return ssd_; }
   smart::SmartSsdRuntime* runtime() { return runtime_.get(); }
+  const smart::SmartSsdRuntime* runtime() const { return runtime_.get(); }
   bool smart_capable() const { return runtime_ != nullptr; }
 
   // Shared across executors and planners: pushdown failures recorded by

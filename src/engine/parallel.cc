@@ -1,47 +1,11 @@
 #include "engine/parallel.h"
 
 #include <algorithm>
-#include <cstring>
-#include <limits>
-#include <map>
+#include <utility>
+
+#include "engine/partial_merge.h"
 
 namespace smartssd::engine {
-
-namespace {
-
-// Coordinator-side merge cost, charged to the host CPU after the last
-// worker completes: touch every partial row once.
-constexpr std::uint64_t kMergeCyclesPerRow = 40;
-constexpr std::uint64_t kMergeCyclesPerByte = 1;
-
-std::int64_t CombineAgg(exec::AggSpec::Fn fn, std::int64_t a,
-                        std::int64_t b) {
-  switch (fn) {
-    case exec::AggSpec::Fn::kSum:
-    case exec::AggSpec::Fn::kCount:
-      return a + b;
-    case exec::AggSpec::Fn::kMin:
-      return std::min(a, b);
-    case exec::AggSpec::Fn::kMax:
-      return std::max(a, b);
-  }
-  return a;
-}
-
-std::int64_t AggMergeInit(exec::AggSpec::Fn fn) {
-  switch (fn) {
-    case exec::AggSpec::Fn::kSum:
-    case exec::AggSpec::Fn::kCount:
-      return 0;
-    case exec::AggSpec::Fn::kMin:
-      return std::numeric_limits<std::int64_t>::max();
-    case exec::AggSpec::Fn::kMax:
-      return std::numeric_limits<std::int64_t>::min();
-  }
-  return 0;
-}
-
-}  // namespace
 
 ParallelDatabase::ParallelDatabase(int workers,
                                    const DatabaseOptions& options) {
@@ -88,18 +52,7 @@ void ParallelDatabase::ResetForColdRun() {
 
 Result<ParallelQueryResult> ParallelDatabase::Execute(
     const exec::QuerySpec& spec, ExecutionTarget target, SimTime start) {
-  if (spec.top_n.has_value()) {
-    // The coordinator re-sorts merged rows by the order column, so it
-    // must appear in the projection.
-    bool projected = false;
-    for (const int col : spec.projection) {
-      if (col == spec.top_n->order_col) projected = true;
-    }
-    if (!projected) {
-      return InvalidArgumentError(
-          "parallel top-N requires the ORDER BY column in the projection");
-    }
-  }
+  SMARTSSD_RETURN_IF_ERROR(ValidateMergeable(spec));
   std::vector<QueryResult> partials;
   partials.reserve(workers_.size());
   for (auto& worker : workers_) {
@@ -121,125 +74,23 @@ Result<ParallelQueryResult> ParallelDatabase::Merge(
                              .end = start,
                              .worker_stats = {}};
   SimTime last_worker_done = start;
-  std::uint64_t merged_rows = 0;
-  std::uint64_t merged_bytes = 0;
+  std::vector<const QueryResult*> ordered;
+  ordered.reserve(partials.size());
   for (QueryResult& partial : partials) {
     last_worker_done = std::max(last_worker_done, partial.stats.end);
-    merged_rows += partial.row_count();
-    merged_bytes += partial.rows.size();
     result.worker_stats.push_back(partial.stats);
+    ordered.push_back(&partial);
   }
-  const std::uint32_t width = result.output_schema.tuple_size();
-
-  if (!spec.aggregates.empty() && spec.group_by.empty()) {
-    // Scalar aggregates: fold worker values.
-    result.agg_values.resize(spec.aggregates.size());
-    for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
-      result.agg_values[i] = AggMergeInit(spec.aggregates[i].fn);
-      for (const QueryResult& partial : partials) {
-        result.agg_values[i] = CombineAgg(spec.aggregates[i].fn,
-                                          result.agg_values[i],
-                                          partial.agg_values[i]);
-      }
-      const std::byte* p =
-          reinterpret_cast<const std::byte*>(&result.agg_values[i]);
-      result.rows.insert(result.rows.end(), p, p + 8);
-    }
-  } else if (!spec.aggregates.empty()) {
-    // GROUP BY: merge rows key-wise. The key is the row prefix before
-    // the aggregate values.
-    const std::uint32_t key_width =
-        width - 8u * static_cast<std::uint32_t>(spec.aggregates.size());
-    std::map<std::string, std::vector<std::int64_t>> groups;
-    for (const QueryResult& partial : partials) {
-      for (std::uint64_t r = 0; r < partial.row_count(); ++r) {
-        const std::byte* row = partial.rows.data() + r * width;
-        std::string key(reinterpret_cast<const char*>(row), key_width);
-        auto it = groups.find(key);
-        if (it == groups.end()) {
-          std::vector<std::int64_t> init;
-          for (const exec::AggSpec& agg : spec.aggregates) {
-            init.push_back(AggMergeInit(agg.fn));
-          }
-          it = groups.emplace(std::move(key), std::move(init)).first;
-        }
-        for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
-          std::int64_t v;
-          std::memcpy(&v, row + key_width + 8 * i, 8);
-          it->second[i] =
-              CombineAgg(spec.aggregates[i].fn, it->second[i], v);
-        }
-      }
-    }
-    for (const auto& [key, values] : groups) {
-      result.rows.insert(result.rows.end(),
-                         reinterpret_cast<const std::byte*>(key.data()),
-                         reinterpret_cast<const std::byte*>(key.data()) +
-                             key.size());
-      for (const std::int64_t v : values) {
-        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
-        result.rows.insert(result.rows.end(), p, p + 8);
-      }
-    }
-  } else {
-    // Projection: concatenate, then optionally re-select the top N.
-    for (const QueryResult& partial : partials) {
-      result.rows.insert(result.rows.end(), partial.rows.begin(),
-                         partial.rows.end());
-    }
-    if (spec.top_n.has_value()) {
-      // Locate the order column's byte offset within the output row.
-      std::uint32_t key_offset = 0;
-      std::uint32_t key_size = 0;
-      for (std::size_t i = 0; i < spec.projection.size(); ++i) {
-        const storage::Column& column =
-            partials[0].output_schema.column(static_cast<int>(i));
-        if (spec.projection[i] == spec.top_n->order_col) {
-          key_size = column.width;
-          break;
-        }
-        key_offset += column.width;
-      }
-      SMARTSSD_CHECK_GT(key_size, 0u);
-      const std::uint64_t total = result.rows.size() / width;
-      std::vector<std::uint64_t> order(total);
-      for (std::uint64_t i = 0; i < total; ++i) order[i] = i;
-      auto key_of = [&](std::uint64_t row) -> std::int64_t {
-        const std::byte* p =
-            result.rows.data() + row * width + key_offset;
-        if (key_size == 8) {
-          std::int64_t v;
-          std::memcpy(&v, p, 8);
-          return v;
-        }
-        std::int32_t v;
-        std::memcpy(&v, p, 4);
-        return v;
-      };
-      std::stable_sort(order.begin(), order.end(),
-                       [&](std::uint64_t a, std::uint64_t b) {
-                         return spec.top_n->descending
-                                    ? key_of(a) > key_of(b)
-                                    : key_of(a) < key_of(b);
-                       });
-      const std::uint64_t keep =
-          std::min<std::uint64_t>(spec.top_n->limit, total);
-      std::vector<std::byte> selected;
-      selected.reserve(keep * width);
-      for (std::uint64_t i = 0; i < keep; ++i) {
-        const std::byte* row = result.rows.data() + order[i] * width;
-        selected.insert(selected.end(), row, row + width);
-      }
-      result.rows = std::move(selected);
-    }
-  }
+  MergedPartials merged =
+      MergePartialResults(spec, result.output_schema, ordered);
+  result.rows = std::move(merged.rows);
+  result.agg_values = std::move(merged.agg_values);
 
   // Merge cost on the coordinator's CPU (worker 0's host machine stands
   // in for the single physical host).
-  const std::uint64_t merge_cycles = merged_rows * kMergeCyclesPerRow +
-                                     merged_bytes * kMergeCyclesPerByte;
-  result.end =
-      workers_[0]->host().Execute(merge_cycles, last_worker_done);
+  result.end = workers_[0]->host().Execute(
+      MergeCostCycles(merged.input_rows, merged.input_bytes),
+      last_worker_done);
   return result;
 }
 

@@ -1,0 +1,168 @@
+#include "engine/partial_merge.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace smartssd::engine {
+
+namespace {
+
+std::int64_t CombineAgg(exec::AggSpec::Fn fn, std::int64_t a,
+                        std::int64_t b) {
+  switch (fn) {
+    case exec::AggSpec::Fn::kSum:
+    case exec::AggSpec::Fn::kCount:
+      return a + b;
+    case exec::AggSpec::Fn::kMin:
+      return std::min(a, b);
+    case exec::AggSpec::Fn::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+std::int64_t AggMergeInit(exec::AggSpec::Fn fn) {
+  switch (fn) {
+    case exec::AggSpec::Fn::kSum:
+    case exec::AggSpec::Fn::kCount:
+      return 0;
+    case exec::AggSpec::Fn::kMin:
+      return std::numeric_limits<std::int64_t>::max();
+    case exec::AggSpec::Fn::kMax:
+      return std::numeric_limits<std::int64_t>::min();
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status ValidateMergeable(const exec::QuerySpec& spec) {
+  if (!spec.top_n.has_value()) return Status::OK();
+  for (const int col : spec.projection) {
+    if (col == spec.top_n->order_col) return Status::OK();
+  }
+  return InvalidArgumentError(
+      "scatter-gather top-N requires the ORDER BY column in the "
+      "projection");
+}
+
+MergedPartials MergePartialResults(
+    const exec::QuerySpec& spec, const storage::Schema& output_schema,
+    const std::vector<const QueryResult*>& partials) {
+  SMARTSSD_CHECK(!partials.empty());
+  MergedPartials merged;
+  for (const QueryResult* partial : partials) {
+    merged.input_rows += partial->row_count();
+    merged.input_bytes += partial->rows.size();
+  }
+  const std::uint32_t width = output_schema.tuple_size();
+
+  if (!spec.aggregates.empty() && spec.group_by.empty()) {
+    // Scalar aggregates: fold partial values.
+    merged.agg_values.resize(spec.aggregates.size());
+    for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+      merged.agg_values[i] = AggMergeInit(spec.aggregates[i].fn);
+      for (const QueryResult* partial : partials) {
+        merged.agg_values[i] = CombineAgg(spec.aggregates[i].fn,
+                                          merged.agg_values[i],
+                                          partial->agg_values[i]);
+      }
+      const std::byte* p =
+          reinterpret_cast<const std::byte*>(&merged.agg_values[i]);
+      merged.rows.insert(merged.rows.end(), p, p + 8);
+    }
+  } else if (!spec.aggregates.empty()) {
+    // GROUP BY: merge rows key-wise. The key is the row prefix before
+    // the aggregate values.
+    const std::uint32_t key_width =
+        width - 8u * static_cast<std::uint32_t>(spec.aggregates.size());
+    std::map<std::string, std::vector<std::int64_t>> groups;
+    for (const QueryResult* partial : partials) {
+      for (std::uint64_t r = 0; r < partial->row_count(); ++r) {
+        const std::byte* row = partial->rows.data() + r * width;
+        std::string key(reinterpret_cast<const char*>(row), key_width);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          std::vector<std::int64_t> init;
+          for (const exec::AggSpec& agg : spec.aggregates) {
+            init.push_back(AggMergeInit(agg.fn));
+          }
+          it = groups.emplace(std::move(key), std::move(init)).first;
+        }
+        for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+          std::int64_t v;
+          std::memcpy(&v, row + key_width + 8 * i, 8);
+          it->second[i] =
+              CombineAgg(spec.aggregates[i].fn, it->second[i], v);
+        }
+      }
+    }
+    for (const auto& [key, values] : groups) {
+      merged.rows.insert(merged.rows.end(),
+                         reinterpret_cast<const std::byte*>(key.data()),
+                         reinterpret_cast<const std::byte*>(key.data()) +
+                             key.size());
+      for (const std::int64_t v : values) {
+        const std::byte* p = reinterpret_cast<const std::byte*>(&v);
+        merged.rows.insert(merged.rows.end(), p, p + 8);
+      }
+    }
+  } else {
+    // Projection: concatenate, then optionally re-select the top N.
+    for (const QueryResult* partial : partials) {
+      merged.rows.insert(merged.rows.end(), partial->rows.begin(),
+                         partial->rows.end());
+    }
+    if (spec.top_n.has_value()) {
+      // Locate the order column's byte offset within the output row.
+      std::uint32_t key_offset = 0;
+      std::uint32_t key_size = 0;
+      for (std::size_t i = 0; i < spec.projection.size(); ++i) {
+        const storage::Column& column =
+            output_schema.column(static_cast<int>(i));
+        if (spec.projection[i] == spec.top_n->order_col) {
+          key_size = column.width;
+          break;
+        }
+        key_offset += column.width;
+      }
+      SMARTSSD_CHECK_GT(key_size, 0u);
+      const std::uint64_t total = merged.rows.size() / width;
+      std::vector<std::uint64_t> order(total);
+      for (std::uint64_t i = 0; i < total; ++i) order[i] = i;
+      auto key_of = [&](std::uint64_t row) -> std::int64_t {
+        const std::byte* p =
+            merged.rows.data() + row * width + key_offset;
+        if (key_size == 8) {
+          std::int64_t v;
+          std::memcpy(&v, p, 8);
+          return v;
+        }
+        std::int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint64_t a, std::uint64_t b) {
+                         return spec.top_n->descending
+                                    ? key_of(a) > key_of(b)
+                                    : key_of(a) < key_of(b);
+                       });
+      const std::uint64_t keep =
+          std::min<std::uint64_t>(spec.top_n->limit, total);
+      std::vector<std::byte> selected;
+      selected.reserve(keep * width);
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        const std::byte* row = merged.rows.data() + order[i] * width;
+        selected.insert(selected.end(), row, row + width);
+      }
+      merged.rows = std::move(selected);
+    }
+  }
+  return merged;
+}
+
+}  // namespace smartssd::engine

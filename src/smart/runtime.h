@@ -91,6 +91,10 @@ class SmartSsdRuntime {
 
   std::uint64_t sessions_run() const { return sessions_run_; }
   std::uint64_t sessions_failed() const { return sessions_failed_; }
+  // Sessions whose task was destroyed mid-flight (a hedged duplicate
+  // won the race, or a coordinator cancelled the query). Their grants
+  // were still released; they just never reached CLOSE or failure.
+  std::uint64_t sessions_abandoned() const { return sessions_abandoned_; }
   // Sessions currently holding a firmware thread grant (OPEN granted,
   // not yet retired), and the high-water mark — the device's actual
   // in-flight concurrency, bounded by session_threads.
@@ -116,12 +120,14 @@ class SmartSsdRuntime {
   void NoteSessionBegin();
   void NoteSessionFinished(bool failed, SimTime fail_time,
                            const Status& status);
+  void NoteSessionAbandoned() { ++sessions_abandoned_; }
   void NoteSessionRetired();
 
   ssd::SsdDevice* device_;
   SessionId next_session_id_ = 1;
   std::uint64_t sessions_run_ = 0;
   std::uint64_t sessions_failed_ = 0;
+  std::uint64_t sessions_abandoned_ = 0;
   int active_sessions_ = 0;
   int max_active_sessions_ = 0;
   std::uint64_t idle_dram_free_ = 0;

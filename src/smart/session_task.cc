@@ -21,8 +21,10 @@ SessionTask::SessionTask(SmartSsdRuntime* runtime, InSsdProgram* program,
 }
 
 SessionTask::~SessionTask() {
-  // An abandoned in-flight task (scheduler teardown) still hands every
-  // grant back; it just skips the completed/failed bookkeeping.
+  // An abandoned in-flight task (hedge lost the race, scheduler
+  // teardown) still hands every grant back; it just skips the
+  // completed/failed bookkeeping.
+  if (begin_noted_) runtime_->NoteSessionAbandoned();
   ReleaseGrants();
   RetireIfBegan();
 }

@@ -38,6 +38,9 @@ class SsdDevice : public BlockDevice {
   explicit SsdDevice(const SsdConfig& config);
 
   std::string_view name() const override { return name_; }
+  // Per-device identity in a multi-device fleet ("ssd0", "ssd1", ...);
+  // the name lands in QueryStats::device_name and trace track labels.
+  void set_name(std::string name) { name_ = std::move(name); }
   std::uint32_t page_size() const override { return ftl_->page_size(); }
   std::uint64_t num_pages() const override {
     return ftl_->logical_pages();

@@ -1,8 +1,11 @@
 #include "tpch/tpch_gen.h"
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
+#include "storage/nsm_page.h"
 #include "tpch/dates.h"
 
 namespace smartssd::tpch {
@@ -155,6 +158,46 @@ Result<storage::TableInfo> LoadPart(engine::Database& db, std::string name,
     w.SetChar(kPComment, "synthetic part");
   };
   return db.LoadTable(std::move(name), PartSchema(), layout, rows, gen);
+}
+
+Status LoadLineitemFleet(engine::Fleet& fleet, const std::string& name,
+                         double scale_factor, storage::PageLayout layout,
+                         std::uint64_t seed) {
+  const storage::Schema schema = LineitemSchema();
+  const std::uint64_t rows = LineitemRows(scale_factor);
+  const std::uint32_t tuple_size = schema.tuple_size();
+  auto buffer =
+      std::make_shared<std::vector<std::byte>>(rows * tuple_size);
+  {
+    engine::Database scratch(engine::DatabaseOptions::PaperSmartSsd());
+    SMARTSSD_ASSIGN_OR_RETURN(
+        storage::TableInfo info,
+        LoadLineitem(scratch, name, scale_factor,
+                     storage::PageLayout::kNsm, seed));
+    std::vector<std::byte> page(scratch.device().page_size());
+    std::uint64_t row = 0;
+    for (std::uint64_t p = 0; p < info.page_count; ++p) {
+      SMARTSSD_RETURN_IF_ERROR(
+          scratch.device().ReadPages(info.first_lpn + p, 1, page, 0)
+              .status());
+      SMARTSSD_ASSIGN_OR_RETURN(
+          storage::NsmPageReader reader,
+          storage::NsmPageReader::Open(&schema, page));
+      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i, ++row) {
+        std::memcpy(buffer->data() + row * tuple_size, reader.tuple(i),
+                    tuple_size);
+      }
+    }
+    if (row != rows) {
+      return InternalError("lineitem materialization lost rows");
+    }
+  }
+  storage::RowGenerator raw_gen =
+      [buffer, tuple_size](std::uint64_t row,
+                           storage::TupleWriter& writer) {
+        writer.CopyFrom({buffer->data() + row * tuple_size, tuple_size});
+      };
+  return fleet.LoadPartitionedTable(name, schema, layout, rows, raw_gen);
 }
 
 }  // namespace smartssd::tpch

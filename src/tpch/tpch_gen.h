@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "engine/database.h"
+#include "engine/fleet.h"
 #include "storage/schema.h"
 
 namespace smartssd::tpch {
@@ -73,6 +74,15 @@ Result<storage::TableInfo> LoadPart(engine::Database& db, std::string name,
                                     double scale_factor,
                                     storage::PageLayout layout,
                                     std::uint64_t seed = 19940101);
+
+// Loads LINEITEM partitioned across a fleet's devices by contiguous
+// global row ranges. The generator draws from a sequential PRNG, so
+// per-range regeneration would diverge; the rows are materialized once
+// through a scratch database and replayed verbatim — every fleet shape
+// holds exactly the rows a single-device LoadLineitem produces.
+Status LoadLineitemFleet(engine::Fleet& fleet, const std::string& name,
+                         double scale_factor, storage::PageLayout layout,
+                         std::uint64_t seed = 19920101);
 
 }  // namespace smartssd::tpch
 

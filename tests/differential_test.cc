@@ -1,8 +1,11 @@
 // Differential correctness fuzz: seeded random query specs run through
 // every execution configuration — host scan, Smart SSD pushdown over
 // NSM and PAX (with and without zone maps), parallel databases with
-// 1/2/4 workers, and fault-injected pushdown with degraded fallback —
-// asserting byte-identical results plus structural invariants. A
+// 1/2/4 workers, fault-injected pushdown with degraded fallback, and
+// fleet scatter-gather (uniform 3-device and heterogeneous 2-device
+// shapes, with rotating single-device faults and a breaker-open
+// re-dispatch variant) — asserting byte-identical results plus
+// structural invariants. A
 // failure prints the generated spec, a minimized spec, and the one-line
 // check::ReplaySpec(...) reproducer; pin a found bug by adding that
 // line as a regression test below.
@@ -83,8 +86,8 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
   // ref (scalar + vectorized twin) + 4 single configs + 3 parallel
-  // configs per spec.
-  EXPECT_EQ(report.executions, 2 * 9);
+  // configs + 2 fleet configs per spec.
+  EXPECT_EQ(report.executions, 2 * 11);
 }
 
 }  // namespace

@@ -1,0 +1,440 @@
+// Tests for the fault-tolerant multi-device fleet (engine/fleet.h):
+// partitioned scatter-gather byte-identity against single-device ground
+// truth, per-device fault-seed purity, breaker-open re-dispatch,
+// half-open single-probe admission under concurrent traffic, hedged
+// subqueries with deterministic replay, and the degraded-mode ladder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/result_compare.h"
+#include "check/table_gen.h"
+#include "common/units.h"
+#include "engine/executor.h"
+#include "engine/fleet.h"
+#include "expr/expression.h"
+#include "obs/trace.h"
+#include "sim/fault_injector.h"
+
+namespace smartssd::engine {
+namespace {
+
+using check::CompareOutputs;
+using check::ExecutionOutput;
+using check::TableGenConfig;
+
+// --- Shared query shapes over the check tables ---------------------------
+
+// SUM/COUNT over a ~50% selection of F: exercises the scalar-aggregate
+// merge and keeps every device's partition contributing.
+exec::QuerySpec SumSpec() {
+  exec::QuerySpec spec;
+  spec.name = "fleet_sum";
+  spec.table = check::kOuterTable;
+  spec.predicate =
+      expr::Lt(expr::Col(3), expr::Lit(check::kValueDomain / 2));
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kSum, .input = expr::Col(4), .name = "s"});
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kCount, .input = nullptr, .name = "c"});
+  return spec;
+}
+
+// GROUP BY cat: exercises the keyed merge (groups span partitions).
+exec::QuerySpec GroupSpec() {
+  exec::QuerySpec spec;
+  spec.name = "fleet_group";
+  spec.table = check::kOuterTable;
+  spec.group_by = {2};
+  spec.aggregates.push_back(exec::AggSpec{
+      .fn = exec::AggSpec::Fn::kSum, .input = expr::Col(6), .name = "s"});
+  return spec;
+}
+
+ExecutionOutput GroundTruth(const exec::QuerySpec& spec,
+                            ExecutionTarget target,
+                            const TableGenConfig& config) {
+  Database db(DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTables(db, config, storage::PageLayout::kNsm).ok());
+  db.ResetForColdRun();
+  QueryExecutor executor(&db);
+  auto result = executor.Execute(spec, target);
+  SMARTSSD_CHECK(result.ok());
+  return check::FromQuery("single", *result);
+}
+
+ExecutionOutput FleetRun(Fleet& fleet, const exec::QuerySpec& spec,
+                         ExecutionTarget target,
+                         const FleetOptions& options = {}) {
+  fleet.ResetForColdRun();
+  auto result = ExecuteOnFleet(fleet, spec, target, 0, options);
+  SMARTSSD_CHECK(result.ok());
+  return check::FromFleet("fleet", *result);
+}
+
+// --- Satellite: per-device fault seeds ------------------------------------
+
+TEST(DeviceFaultSeedTest, PureAndDistinct) {
+  // Pure: same inputs, same seed — no hidden state.
+  EXPECT_EQ(DeviceFaultSeed(7, 3), DeviceFaultSeed(7, 3));
+  // Distinct across devices of one fleet and across fleet seeds.
+  std::set<std::uint64_t> seeds;
+  for (int d = 0; d < 16; ++d) seeds.insert(DeviceFaultSeed(7, d));
+  for (int d = 0; d < 16; ++d) seeds.insert(DeviceFaultSeed(8, d));
+  EXPECT_EQ(seeds.size(), 32u);
+}
+
+TEST(DeviceFaultSeedTest, LoadFaultScheduleUsesDerivedSeed) {
+  Fleet fleet(2, DatabaseOptions::PaperSmartSsd(), /*fleet_seed=*/42);
+  EXPECT_EQ(fleet.device_fault_seed(0), DeviceFaultSeed(42, 0));
+  EXPECT_NE(fleet.device_fault_seed(0), fleet.device_fault_seed(1));
+}
+
+// --- Scatter-gather byte-identity -----------------------------------------
+
+class FleetTest : public ::testing::Test {
+ protected:
+  TableGenConfig gen_;
+};
+
+TEST_F(FleetTest, UniformFleetMatchesSingleDeviceByteForByte) {
+  Fleet fleet(3, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  std::vector<exec::QuerySpec> specs;
+  specs.push_back(SumSpec());
+  specs.push_back(GroupSpec());
+  for (const exec::QuerySpec& spec : specs) {
+    for (ExecutionTarget target :
+         {ExecutionTarget::kSmartSsd, ExecutionTarget::kHost}) {
+      const ExecutionOutput expected = GroundTruth(spec, target, gen_);
+      const ExecutionOutput actual = FleetRun(fleet, spec, target);
+      const Status s = CompareOutputs(expected, actual);
+      EXPECT_TRUE(s.ok()) << spec.name << ": " << s.message();
+    }
+  }
+}
+
+TEST_F(FleetTest, HeterogeneousFleetMatchesSingleDevice) {
+  DatabaseOptions base = DatabaseOptions::PaperSmartSsd();
+  DatabaseOptions slow = base;
+  slow.ssd.embedded_cpu.cores = 2;
+  slow.ssd.embedded_cpu.clock_hz = 300ull * 1000 * 1000;
+  Fleet fleet({base, slow, base});
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kPax).ok());
+  const exec::QuerySpec spec = SumSpec();
+  const ExecutionOutput expected =
+      GroundTruth(spec, ExecutionTarget::kSmartSsd, gen_);
+  const ExecutionOutput actual =
+      FleetRun(fleet, spec, ExecutionTarget::kSmartSsd);
+  const Status s = CompareOutputs(expected, actual);
+  EXPECT_TRUE(s.ok()) << s.message();
+}
+
+TEST_F(FleetTest, RejectsQueryOverReplicatedTable) {
+  Fleet fleet(2, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  exec::QuerySpec spec = SumSpec();
+  spec.table = check::kInnerTable;  // replicated, not partitioned
+  auto result =
+      ExecuteOnFleet(fleet, spec, ExecutionTarget::kSmartSsd);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(std::string(result.status().message())
+                .find("not partition-loaded"),
+            std::string::npos);
+}
+
+// --- Breaker-open re-dispatch ---------------------------------------------
+
+TEST_F(FleetTest, BreakerOpenRedispatchIsByteIdentical) {
+  Fleet fleet(3, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  const exec::QuerySpec spec = SumSpec();
+  const ExecutionOutput healthy =
+      FleetRun(fleet, spec, ExecutionTarget::kSmartSsd);
+
+  // Trip device 1's breaker; a query arriving inside the cooldown must
+  // send that partition straight to the host path — same bytes.
+  fleet.ResetForColdRun();
+  DeviceCircuitBreaker& breaker = fleet.device(1).circuit_breaker();
+  breaker.Reset();
+  for (std::uint32_t i = 0; i < breaker.config().failure_threshold; ++i) {
+    breaker.RecordFailure(0, "test");
+  }
+  ASSERT_EQ(breaker.state(), DeviceCircuitBreaker::State::kOpen);
+  fleet.UpdateBreakerGauges();
+  EXPECT_EQ(fleet.metrics().gauge("fleet.dev1.breaker_state")->value(), 1);
+
+  FleetCoordinator coordinator(&fleet);
+  FleetQueryConfig config;
+  config.spec = &spec;
+  coordinator.Submit(config, /*at=*/0);
+  auto completed = coordinator.Run();
+  ASSERT_TRUE(completed.ok());
+  ASSERT_EQ(completed->size(), 1u);
+  const CompletedFleetQuery& record = completed->front();
+  ASSERT_TRUE(record.result.ok()) << record.result.status().message();
+  EXPECT_TRUE(record.subqueries[1].redispatched);
+  EXPECT_FALSE(record.subqueries[0].redispatched);
+  EXPECT_FALSE(record.subqueries[2].redispatched);
+  EXPECT_EQ(coordinator.redispatches(), 1u);
+  EXPECT_EQ(coordinator.breaker_probes(), 0u);
+
+  const ExecutionOutput redispatched =
+      check::FromFleet("fleet-redispatch", record.result.value());
+  const Status s = CompareOutputs(healthy, redispatched);
+  EXPECT_TRUE(s.ok()) << s.message();
+  // Gauges refreshed on completion: still open (nobody probed it).
+  EXPECT_EQ(fleet.metrics().gauge("fleet.dev1.breaker_state")->value(), 1);
+  breaker.Reset();
+}
+
+TEST_F(FleetTest, HalfOpenAdmitsExactlyOneProbeUnderConcurrentTraffic) {
+  Fleet fleet(2, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  const exec::QuerySpec spec = SumSpec();
+  const ExecutionOutput healthy =
+      GroundTruth(spec, ExecutionTarget::kSmartSsd, gen_);
+
+  DeviceCircuitBreaker& breaker = fleet.device(0).circuit_breaker();
+  for (std::uint32_t i = 0; i < breaker.config().failure_threshold; ++i) {
+    breaker.RecordFailure(0, "test");
+  }
+  ASSERT_EQ(breaker.state(), DeviceCircuitBreaker::State::kOpen);
+
+  // Three fleet queries arrive together just past the cooldown: exactly
+  // one device-0 subquery is admitted as the half-open probe; the other
+  // two keep bypassing to the host path while the probe is in flight.
+  FleetCoordinator coordinator(&fleet);
+  const SimTime arrival = breaker.config().cooldown + 100 * kMillisecond;
+  FleetQueryConfig config;
+  config.spec = &spec;
+  for (int i = 0; i < 3; ++i) coordinator.Submit(config, arrival);
+  auto completed = coordinator.Run();
+  ASSERT_TRUE(completed.ok());
+  ASSERT_EQ(completed->size(), 3u);
+
+  EXPECT_EQ(coordinator.breaker_probes(), 1u);
+  EXPECT_EQ(coordinator.redispatches(), 2u);
+  int probes = 0, redispatches = 0;
+  for (const CompletedFleetQuery& record : *completed) {
+    ASSERT_TRUE(record.result.ok()) << record.result.status().message();
+    const ExecutionOutput out =
+        check::FromFleet("fleet-probe", record.result.value());
+    const Status s = CompareOutputs(healthy, out);
+    EXPECT_TRUE(s.ok()) << s.message();
+    if (record.subqueries[0].redispatched) {
+      ++redispatches;
+    } else {
+      ++probes;
+    }
+  }
+  EXPECT_EQ(probes, 1);
+  EXPECT_EQ(redispatches, 2);
+  // The healthy probe succeeded, closing the breaker for good.
+  EXPECT_EQ(breaker.state(), DeviceCircuitBreaker::State::kClosed);
+}
+
+// --- Hedged subqueries ----------------------------------------------------
+
+struct HedgeRun {
+  std::vector<CompletedFleetQuery> completed;
+  std::uint64_t hedges = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t abandoned = 0;
+};
+
+// A 4-device fleet where device 3's embedded CPU is 10x slower: its
+// device-path subqueries outlive the fleet latency quantile and get a
+// host-path hedge that wins. Returns everything replay determinism must
+// preserve.
+HedgeRun RunHedgedWorkload(const exec::QuerySpec& spec,
+                           const TableGenConfig& gen) {
+  DatabaseOptions base = DatabaseOptions::PaperSmartSsd();
+  DatabaseOptions straggler = base;
+  straggler.ssd.embedded_cpu.clock_hz = 40ull * 1000 * 1000;
+  Fleet fleet({base, base, base, straggler});
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen, storage::PageLayout::kNsm).ok());
+  obs::Tracer tracer;
+  fleet.AttachTracer(&tracer);
+
+  FleetOptions options;
+  options.hedge_quantile = 0.5;  // track the fast devices' latencies
+  options.hedge_latency_factor = 2.0;
+  options.hedge_min_samples = 4;  // armed from the second query on
+  FleetCoordinator coordinator(&fleet, options);
+  FleetQueryConfig config;
+  config.spec = &spec;
+  coordinator.AddClosedLoopClient(config, /*count=*/4);
+  auto completed = coordinator.Run();
+  SMARTSSD_CHECK(completed.ok());
+
+  // Cancellation left nothing behind: grants returned, spans closed.
+  SMARTSSD_CHECK(check::CheckFleetInvariants(fleet).ok());
+  SMARTSSD_CHECK(check::CheckTraceInvariants(tracer).ok());
+
+  HedgeRun run;
+  run.completed = std::move(completed).value();
+  run.hedges = coordinator.hedges_launched();
+  run.wins = coordinator.hedge_wins();
+  run.abandoned = fleet.device(3).runtime()->sessions_abandoned();
+  return run;
+}
+
+TEST_F(FleetTest, HedgeRescuesStragglerAndKeepsBytesIdentical) {
+  const exec::QuerySpec spec = SumSpec();
+  const ExecutionOutput expected =
+      GroundTruth(spec, ExecutionTarget::kSmartSsd, gen_);
+  const HedgeRun run = RunHedgedWorkload(spec, gen_);
+  ASSERT_EQ(run.completed.size(), 4u);
+
+  // The first query has no latency samples, so it cannot hedge; later
+  // queries hedge the straggler and the host-path duplicate wins.
+  EXPECT_FALSE(run.completed.front().subqueries[3].hedged);
+  EXPECT_GE(run.hedges, 1u);
+  EXPECT_GE(run.wins, 1u);
+  // The losing device-path task was destroyed mid-session.
+  EXPECT_GE(run.abandoned, 1u);
+
+  bool any_hedge_won = false;
+  for (const CompletedFleetQuery& record : run.completed) {
+    ASSERT_TRUE(record.result.ok()) << record.result.status().message();
+    EXPECT_FALSE(record.result.value().degraded);
+    const ExecutionOutput out =
+        check::FromFleet("fleet-hedge", record.result.value());
+    const Status s = CompareOutputs(expected, out);
+    EXPECT_TRUE(s.ok()) << s.message();
+    const FleetSubqueryRecord& straggler = record.subqueries[3];
+    if (straggler.hedge_won) {
+      any_hedge_won = true;
+      EXPECT_TRUE(straggler.hedged);
+    }
+  }
+  EXPECT_TRUE(any_hedge_won);
+}
+
+TEST_F(FleetTest, HedgeWinnersAreDeterministicOnReplay) {
+  const exec::QuerySpec spec = SumSpec();
+  const HedgeRun first = RunHedgedWorkload(spec, gen_);
+  const HedgeRun second = RunHedgedWorkload(spec, gen_);
+  EXPECT_GE(first.hedges, 1u);  // the scenario actually hedged
+  EXPECT_EQ(first.hedges, second.hedges);
+  EXPECT_EQ(first.wins, second.wins);
+  EXPECT_EQ(first.abandoned, second.abandoned);
+  ASSERT_EQ(first.completed.size(), second.completed.size());
+  for (std::size_t i = 0; i < first.completed.size(); ++i) {
+    const CompletedFleetQuery& a = first.completed[i];
+    const CompletedFleetQuery& b = second.completed[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arrival, b.arrival);
+    EXPECT_EQ(a.end, b.end);
+    ASSERT_EQ(a.subqueries.size(), b.subqueries.size());
+    for (std::size_t d = 0; d < a.subqueries.size(); ++d) {
+      EXPECT_EQ(a.subqueries[d].start, b.subqueries[d].start);
+      EXPECT_EQ(a.subqueries[d].end, b.subqueries[d].end);
+      EXPECT_EQ(a.subqueries[d].hedged, b.subqueries[d].hedged);
+      EXPECT_EQ(a.subqueries[d].hedge_won, b.subqueries[d].hedge_won);
+      EXPECT_EQ(a.subqueries[d].fell_back, b.subqueries[d].fell_back);
+    }
+    ASSERT_TRUE(a.result.ok());
+    ASSERT_TRUE(b.result.ok());
+    EXPECT_EQ(a.result.value().rows, b.result.value().rows);
+    EXPECT_EQ(a.result.value().agg_values, b.result.value().agg_values);
+    EXPECT_EQ(a.result.value().end, b.result.value().end);
+  }
+}
+
+// --- Degraded mode --------------------------------------------------------
+
+// A fault schedule no path survives: every flash page read on the
+// device fails, so the session dies and the host rerun (which reads the
+// same flash) dies too.
+sim::FaultSchedule KillEveryRead() {
+  sim::FaultSchedule schedule;
+  schedule.faults.push_back(sim::FaultSpec{
+      .kind = sim::FaultKind::kUncorrectableRead,
+      .trigger = {.unit = sim::TriggerUnit::kPagesRead, .at = 1},
+      .count = 1'000'000});
+  return schedule;
+}
+
+TEST_F(FleetTest, StrictPolicyFailsWhenPartitionIsUnavailable) {
+  Fleet fleet(2, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  const exec::QuerySpec spec = SumSpec();
+  fleet.LoadFaultSchedule(1, KillEveryRead());
+
+  FleetCoordinator coordinator(&fleet);  // default policy: strict
+  FleetQueryConfig config;
+  config.spec = &spec;
+  coordinator.Submit(config, 0);
+  auto completed = coordinator.Run();
+  ASSERT_TRUE(completed.ok());
+  ASSERT_EQ(completed->size(), 1u);
+  const CompletedFleetQuery& record = completed->front();
+  ASSERT_FALSE(record.result.ok());
+  EXPECT_NE(std::string(record.result.status().message())
+                .find("partition 1 unavailable"),
+            std::string::npos);
+  EXPECT_TRUE(record.subqueries[1].unavailable);
+  EXPECT_EQ(coordinator.unavailable_partitions(), 1u);
+  fleet.ClearFaults();
+}
+
+TEST_F(FleetTest, BestEffortPolicyFlagsMissingPartitionExplicitly) {
+  Fleet fleet(2, DatabaseOptions::PaperSmartSsd());
+  SMARTSSD_CHECK(
+      check::LoadTablesFleet(fleet, gen_, storage::PageLayout::kNsm).ok());
+  const exec::QuerySpec spec = SumSpec();
+  fleet.LoadFaultSchedule(1, KillEveryRead());
+
+  FleetOptions options;
+  options.policy = FleetResultPolicy::kBestEffort;
+  auto result =
+      ExecuteOnFleet(fleet, spec, ExecutionTarget::kSmartSsd, 0, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->missing_partitions, std::vector<int>{1});
+  fleet.ClearFaults();
+
+  // The partial is exactly partition 0's answer — never a silently
+  // truncated variant of the full one. Recompute it from a single
+  // database loaded with just partition 0's global row range.
+  Database half(DatabaseOptions::PaperSmartSsd());
+  const std::uint64_t half_rows = gen_.outer_rows / 2;
+  const TableGenConfig& gen = gen_;
+  const storage::Schema outer_schema = check::OuterSchema();
+  storage::RowGenerator outer_gen =
+      [&gen, &outer_schema](std::uint64_t row, storage::TupleWriter& w) {
+        for (int c = 0; c < outer_schema.num_columns(); ++c) {
+          const std::int64_t v = check::OuterValue(gen, row, c);
+          if (outer_schema.column(c).type == storage::ColumnType::kInt64) {
+            w.SetInt64(c, v);
+          } else {
+            w.SetInt32(c, static_cast<std::int32_t>(v));
+          }
+        }
+      };
+  SMARTSSD_CHECK(half.LoadTable(check::kOuterTable, outer_schema,
+                                storage::PageLayout::kNsm, half_rows,
+                                outer_gen)
+                     .ok());
+  half.ResetForColdRun();
+  QueryExecutor executor(&half);
+  auto partial = executor.Execute(spec, ExecutionTarget::kSmartSsd);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(result->agg_values, partial->agg_values);
+}
+
+}  // namespace
+}  // namespace smartssd::engine
