@@ -9,6 +9,7 @@
 #include "check/result_compare.h"
 #include "check/spec_print.h"
 #include "check/table_gen.h"
+#include "check/write_phase.h"
 #include "engine/executor.h"
 #include "engine/fleet.h"
 #include "engine/parallel.h"
@@ -34,6 +35,66 @@ constexpr sim::FaultKind kFaultRotation[] = {
     sim::FaultKind::kOpenRejected,       sim::FaultKind::kResultQueueOverflow,
     sim::FaultKind::kUncorrectableRead,
 };
+
+// A deliberately tiny, GC-prone device for the write-phase databases:
+// 256 physical pages with 25% over-provisioning, so the write phases'
+// out-of-place page writes drain the free lists and force the garbage
+// collector to actually run under the differential comparisons.
+DatabaseOptions GcProneOptions(std::uint64_t buffer_pool_pages,
+                               ftl::GcPolicyKind policy) {
+  DatabaseOptions options = DatabaseOptions::PaperSmartSsd();
+  options.buffer_pool_pages = buffer_pool_pages;
+  options.ssd.geometry.channels = 2;
+  options.ssd.geometry.chips_per_channel = 2;
+  options.ssd.geometry.blocks_per_chip = 8;
+  options.ssd.geometry.pages_per_block = 8;
+  options.ssd.geometry.page_size_bytes = 2048;
+  options.ssd.dram.capacity_bytes = 64 * kMiB;
+  options.ssd.ftl.over_provisioning = 0.25;
+  options.ssd.ftl.gc_low_watermark_blocks = 2;
+  options.ssd.ftl.gc_policy = policy;
+  return options;
+}
+
+// Loads F (with extent headroom for the sweep's appends) and D into a
+// write-path database. Same pure cell generators as LoadTables.
+Status LoadWritePathTables(Database& db, const TableGenConfig& config,
+                           std::uint64_t reserve_pages) {
+  const storage::Schema outer = OuterSchema();
+  const storage::Schema inner = InnerSchema();
+  auto fill = [](const storage::Schema& schema,
+                 auto value) -> storage::RowGenerator {
+    return [&schema, value](std::uint64_t row,
+                            storage::TupleWriter& writer) {
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        const std::int64_t v = value(row, c);
+        if (schema.column(c).type == storage::ColumnType::kInt64) {
+          writer.SetInt64(c, v);
+        } else {
+          writer.SetInt32(c, static_cast<std::int32_t>(v));
+        }
+      }
+    };
+  };
+  SMARTSSD_RETURN_IF_ERROR(
+      db.LoadTable(kOuterTable, outer, storage::PageLayout::kNsm,
+                   config.outer_rows,
+                   fill(outer,
+                        [&config](std::uint64_t row, int col) {
+                          return OuterValue(config, row, col);
+                        }),
+                   reserve_pages)
+          .status());
+  SMARTSSD_RETURN_IF_ERROR(
+      db.LoadTable(kInnerTable, inner, storage::PageLayout::kNsm,
+                   config.inner_rows,
+                   fill(inner,
+                        [&config](std::uint64_t row, int col) {
+                          return InnerValue(config, row, col);
+                        }))
+          .status());
+  return Status::OK();
+}
 
 sim::FaultSchedule MakeSchedule(sim::FaultKind kind) {
   sim::FaultSchedule schedule;
@@ -129,6 +190,30 @@ class DifferentialRunner {
     SMARTSSD_CHECK(fleet3_->BuildZoneMaps(kOuterTable).ok());
     SMARTSSD_CHECK(fleet_het2_->BuildZoneMaps(kOuterTable).ok());
 
+    // Write-path pair: one GC-prone database per victim-selection
+    // policy, plus the in-memory oracle their stored bytes are verified
+    // against after every applied phase.
+    if (options_.with_write_phase) {
+      const std::uint64_t reserve_rows =
+          static_cast<std::uint64_t>(
+              options.specs_per_seed < 1 ? 1 : options.specs_per_seed) *
+          kMaxWritePhaseAppendRows;
+      // Conservative 40-byte tuples in 2 KiB pages.
+      const std::uint64_t reserve_pages = reserve_rows / 40 + 2;
+      db_gc_greedy_ = std::make_unique<Database>(GcProneOptions(
+          options.buffer_pool_pages, ftl::GcPolicyKind::kGreedy));
+      db_gc_cb_ = std::make_unique<Database>(GcProneOptions(
+          options.buffer_pool_pages, ftl::GcPolicyKind::kCostBenefit));
+      for (Database* db : {db_gc_greedy_.get(), db_gc_cb_.get()}) {
+        SMARTSSD_CHECK(
+            LoadWritePathTables(*db, gen_.tables, reserve_pages).ok());
+        SMARTSSD_CHECK(db->BuildZoneMap(kOuterTable).ok());
+      }
+      oracle_.emplace(gen_.tables);
+      db_gc_greedy_->AttachTracer(&tracer_gcg_, "gcg-dev", "gcg-host");
+      db_gc_cb_->AttachTracer(&tracer_gcc_, "gcc-dev", "gcc-host");
+    }
+
     db_ref_->AttachTracer(&tracer_ref_, "ref-dev", "ref-host");
     db_ref_vec_->AttachTracer(&tracer_ref_vec_, "refv-dev", "refv-host");
     db_nsm_->AttachTracer(&tracer_nsm_, "nsm-dev", "nsm-host");
@@ -144,6 +229,35 @@ class DifferentialRunner {
   // error, or invariant violation) is returned as (config, message).
   std::optional<std::pair<std::string, std::string>> CheckSpec(
       const exec::QuerySpec& spec, int index) {
+    // Fast-forward any pending write phases up to this spec (apply-once:
+    // Minimize's repeated CheckSpec calls see the state they already
+    // saw). Phases are pure in (seed, phase_index), which is what keeps
+    // ReplaySpec(seed, index) landing on the sweep's exact relation.
+    if (options_.with_write_phase) {
+      while (next_write_index_ <= index) {
+        const WritePhaseSpec phase =
+            GenerateWritePhase(seed_, next_write_index_, gen_.tables);
+        for (Database* db : {db_gc_greedy_.get(), db_gc_cb_.get()}) {
+          if (Status s = ApplyWritePhase(*db, gen_.tables, phase);
+              !s.ok()) {
+            return std::make_pair(std::string("write-phase"),
+                                  s.ToString());
+          }
+        }
+        oracle_->Apply(phase);
+        ++next_write_index_;
+      }
+      // Cell-exact readback: whatever GC relocated, the stored relation
+      // must equal the oracle on both devices.
+      if (Status s = oracle_->Verify(*db_gc_greedy_); !s.ok()) {
+        return std::make_pair(std::string("gcgreedy-oracle"),
+                              s.ToString());
+      }
+      if (Status s = oracle_->Verify(*db_gc_cb_); !s.ok()) {
+        return std::make_pair(std::string("gccb-oracle"), s.ToString());
+      }
+    }
+
     auto ref = RunSingle(*db_ref_, tracer_ref_, spec,
                          ExecutionTarget::kHost, "ref-nsm-host", nullptr);
     if (!ref.ok()) {
@@ -285,6 +399,55 @@ class DifferentialRunner {
       }
       if (Status diff = CompareOutputs(*ref, *out); !diff.ok()) {
         return std::make_pair(std::string(config.name), diff.ToString());
+      }
+    }
+
+    // Write-path quartet. The GC databases hold a different relation
+    // from the reference (phases updated and appended rows), so their
+    // ground truth is the greedy-policy host scan — the other three
+    // configurations must match it byte-for-byte. Host-vs-host counts
+    // must also agree: GC policy choice may move pages physically but
+    // can never change what the host observes.
+    if (options_.with_write_phase) {
+      auto gc_ref =
+          RunSingle(*db_gc_greedy_, tracer_gcg_, spec,
+                    ExecutionTarget::kHost, "gcgreedy-nsm-host", nullptr);
+      if (!gc_ref.ok()) {
+        return std::make_pair(std::string("gcgreedy-nsm-host"),
+                              gc_ref.status().ToString());
+      }
+      struct GcConfig {
+        const char* name;
+        Database* db;
+        obs::Tracer* tracer;
+        ExecutionTarget target;
+        bool compare_counts;
+      };
+      const GcConfig gc_configs[] = {
+          {"gcgreedy-nsm-smart", db_gc_greedy_.get(), &tracer_gcg_,
+           ExecutionTarget::kSmartSsd, false},
+          {"gccb-nsm-host", db_gc_cb_.get(), &tracer_gcc_,
+           ExecutionTarget::kHost, true},
+          {"gccb-nsm-smart", db_gc_cb_.get(), &tracer_gcc_,
+           ExecutionTarget::kSmartSsd, false},
+      };
+      for (const GcConfig& config : gc_configs) {
+        auto out = RunSingle(*config.db, *config.tracer, spec,
+                             config.target, config.name, nullptr);
+        if (!out.ok()) {
+          return std::make_pair(std::string(config.name),
+                                out.status().ToString());
+        }
+        if (Status diff = CompareOutputs(*gc_ref, *out); !diff.ok()) {
+          return std::make_pair(std::string(config.name),
+                                diff.ToString());
+        }
+        if (config.compare_counts) {
+          if (Status diff = CompareCounts(*gc_ref, *out); !diff.ok()) {
+            return std::make_pair(std::string(config.name),
+                                  diff.ToString());
+          }
+        }
       }
     }
     return std::nullopt;
@@ -478,6 +641,12 @@ class DifferentialRunner {
   std::unique_ptr<ParallelDatabase> par4_;
   std::unique_ptr<Fleet> fleet3_;
   std::unique_ptr<Fleet> fleet_het2_;
+  std::unique_ptr<Database> db_gc_greedy_;
+  std::unique_ptr<Database> db_gc_cb_;
+  std::optional<TableOracle> oracle_;
+  int next_write_index_ = 0;
+  obs::Tracer tracer_gcg_;
+  obs::Tracer tracer_gcc_;
   obs::Tracer tracer_ref_;
   obs::Tracer tracer_ref_vec_;
   obs::Tracer tracer_nsm_;

@@ -31,11 +31,18 @@ namespace smartssd::check {
 struct HarnessOptions {
   int specs_per_seed = 20;
   bool with_faults = true;
+  // Write-phase axis: a pair of small write-path databases (one per GC
+  // policy) absorbs a deterministic ingest/update batch before each
+  // odd-indexed spec, is verified cell-exact against an in-memory
+  // oracle, and then runs the spec on host and pushdown paths — all
+  // four results must agree byte-for-byte, whatever the garbage
+  // collector relocated underneath.
+  bool with_write_phase = true;
   // Attempt component-dropping minimization of failing specs.
   bool minimize_failures = true;
   SpecGenConfig gen;
   // The pool is eagerly allocated per database and the harness holds
-  // ten of them, so it runs with a deliberately small pool.
+  // a dozen of them, so it runs with a deliberately small pool.
   std::uint64_t buffer_pool_pages = 192;
 };
 

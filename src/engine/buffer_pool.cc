@@ -148,6 +148,32 @@ Result<SimTime> BufferPool::WritePage(std::uint64_t lpn,
   return t;
 }
 
+Result<SimTime> BufferPool::FlushPage(std::uint64_t lpn, SimTime ready) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) return ready;
+  Frame& frame = frames_[it->second];
+  if (!frame.dirty) return ready;
+  SMARTSSD_ASSIGN_OR_RETURN(
+      const SimTime t,
+      device_->WritePages(frame.lpn, 1, frame.data,
+                          std::max(ready, frame.available_at)));
+  frame.dirty = false;
+  return t;
+}
+
+std::optional<std::uint64_t> BufferPool::NextDirtyInRange(
+    std::uint64_t first_lpn, std::uint64_t count) const {
+  std::optional<std::uint64_t> best;
+  for (const Frame& frame : frames_) {
+    if (frame.valid && frame.dirty && frame.lpn >= first_lpn &&
+        frame.lpn < first_lpn + count &&
+        (!best.has_value() || frame.lpn < *best)) {
+      best = frame.lpn;
+    }
+  }
+  return best;
+}
+
 Result<SimTime> BufferPool::FlushAll(SimTime ready) {
   SimTime t = ready;
   for (Frame& frame : frames_) {

@@ -2,6 +2,7 @@
 #define SMARTSSD_ENGINE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,17 @@ class BufferPool {
 
   // Writes every dirty page back to the device; returns completion time.
   Result<SimTime> FlushAll(SimTime ready);
+
+  // Writes one dirty page back (no-op if the page is clean or absent);
+  // returns completion time. This is the unit of work a resumable ingest
+  // task's flush phase charges per step.
+  Result<SimTime> FlushPage(std::uint64_t lpn, SimTime ready);
+
+  // Lowest dirty LPN in [first_lpn, first_lpn + count), if any. Min-LPN
+  // order makes incremental flushing deterministic regardless of frame
+  // placement.
+  std::optional<std::uint64_t> NextDirtyInRange(std::uint64_t first_lpn,
+                                                std::uint64_t count) const;
 
   bool IsCached(std::uint64_t lpn) const;
   bool IsDirty(std::uint64_t lpn) const;

@@ -79,9 +79,10 @@ StageBreakdown Database::StageSnapshot() const {
 Result<storage::TableInfo> Database::LoadTable(
     std::string name, const storage::Schema& schema,
     storage::PageLayout layout, std::uint64_t row_count,
-    const storage::RowGenerator& gen) {
+    const storage::RowGenerator& gen, std::uint64_t reserve_extra_pages) {
   storage::TableLoader loader(device_.get(), catalog_.get());
-  return loader.Load(std::move(name), schema, layout, row_count, gen);
+  return loader.Load(std::move(name), schema, layout, row_count, gen,
+                     reserve_extra_pages);
 }
 
 Status Database::BuildZoneMap(const std::string& table) {
@@ -110,6 +111,56 @@ const storage::ZoneMap* Database::zone_map(const std::string& table) const {
 
 void Database::DropZoneMap(const std::string& table) {
   zone_maps_.erase(table);
+  stale_zone_maps_.erase(table);
+}
+
+void Database::MarkZoneMapStale(const std::string& table) {
+  if (zone_maps_.erase(table) > 0) {
+    stale_zone_maps_.insert(table);
+  }
+}
+
+Status Database::WidenZoneMap(const std::string& table,
+                              std::uint64_t page_index,
+                              std::span<const std::byte> page) {
+  auto it = zone_maps_.find(table);
+  if (it == zone_maps_.end()) return Status::OK();
+  SMARTSSD_ASSIGN_OR_RETURN(const storage::TableInfo* info,
+                            catalog_->GetTable(table));
+  return it->second.WidenFromPage(*info, page_index, page);
+}
+
+Result<SimTime> Database::RestoreZoneMaps(SimTime ready) {
+  SimTime t = ready;
+  // std::set iteration gives a deterministic rebuild order. Tables that
+  // still have dirty pool pages stay stale: rebuilding them now would
+  // bake pre-flush device bytes into the statistics.
+  for (auto it = stale_zone_maps_.begin(); it != stale_zone_maps_.end();) {
+    const std::string& table = *it;
+    SMARTSSD_ASSIGN_OR_RETURN(const storage::TableInfo* info,
+                              catalog_->GetTable(table));
+    if (pool_->HasDirtyInRange(info->first_lpn, info->reserved_pages)) {
+      ++it;
+      continue;
+    }
+    std::vector<std::byte> buffer(device_->page_size());
+    auto read_page = [&](std::uint64_t page_index)
+        -> Result<std::span<const std::byte>> {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          t, device_->ReadPages(info->first_lpn + page_index, 1, buffer, t));
+      return std::span<const std::byte>(buffer);
+    };
+    SMARTSSD_ASSIGN_OR_RETURN(storage::ZoneMap map,
+                              storage::ZoneMap::Build(*info, read_page));
+    zone_maps_.insert_or_assign(table, std::move(map));
+    it = stale_zone_maps_.erase(it);
+  }
+  return t;
+}
+
+Result<SimTime> Database::FlushAll(SimTime ready) {
+  SMARTSSD_ASSIGN_OR_RETURN(SimTime t, pool_->FlushAll(ready));
+  return RestoreZoneMaps(t);
 }
 
 void Database::ResetForColdRun() {

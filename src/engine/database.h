@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "common/macros.h"
@@ -92,12 +93,14 @@ class Database {
   const HostMachine& host() const { return *host_; }
   const DatabaseOptions& options() const { return options_; }
 
-  // Bulk-loads a table (see TableLoader).
+  // Bulk-loads a table (see TableLoader). `reserve_extra_pages` leaves
+  // extent headroom for appends.
   Result<storage::TableInfo> LoadTable(std::string name,
                                        const storage::Schema& schema,
                                        storage::PageLayout layout,
                                        std::uint64_t row_count,
-                                       const storage::RowGenerator& gen);
+                                       const storage::RowGenerator& gen,
+                                       std::uint64_t reserve_extra_pages = 0);
 
   // Builds per-page min/max statistics for a loaded table. Do this
   // right after LoadTable (it reads every page, so timing should be
@@ -105,10 +108,28 @@ class Database {
   // table will then skip pages whose zone excludes the predicate range,
   // on both the host and the pushdown path.
   Status BuildZoneMap(const std::string& table);
-  // The table's zone map, or nullptr if none was built.
+  // The table's zone map, or nullptr if none was built (or it is
+  // currently stale after a write).
   const storage::ZoneMap* zone_map(const std::string& table) const;
-  // Drops a table's zone map (updates invalidate the statistics).
+  // Drops a table's zone map permanently.
   void DropZoneMap(const std::string& table);
+  // Marks a table's zone map stale after an in-place update: zone_map()
+  // returns nullptr (pushdown loses pruning, never correctness) until
+  // RestoreZoneMaps rebuilds it. Tables with no map are a no-op.
+  void MarkZoneMapStale(const std::string& table);
+  // Widens a table's live zone map from a freshly written page image
+  // (the append path's maintenance hook). No-op when the table has no
+  // live map; widening only grows ranges, so pruning stays sound.
+  Status WidenZoneMap(const std::string& table, std::uint64_t page_index,
+                      std::span<const std::byte> page);
+  // Rebuilds every stale zone map by reading the tables through the
+  // buffer pool (dirty pages must have been flushed first); returns the
+  // virtual time the rebuild scans finish.
+  Result<SimTime> RestoreZoneMaps(SimTime ready);
+  // Flushes all dirty buffer-pool pages to the device and then restores
+  // any stale zone maps, so pushdown eligibility recovers. The write
+  // path's durability point.
+  Result<SimTime> FlushAll(SimTime ready);
 
   // Cold-run reset: empties the (clean) buffer pool and zeroes all
   // device/host timing, as the paper does before each measured query.
@@ -157,6 +178,8 @@ class Database {
   std::unique_ptr<HostMachine> host_;
   DeviceCircuitBreaker breaker_;
   std::map<std::string, storage::ZoneMap> zone_maps_;
+  // Tables whose zone map was invalidated by a write and awaits rebuild.
+  std::set<std::string> stale_zone_maps_;
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId executor_track_ = 0;
 };

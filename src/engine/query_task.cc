@@ -192,12 +192,20 @@ StepOutcome HostQueryTask::StepScan() {
   QueryStats& stats = result_.stats;
   const storage::TableInfo& outer = *bound_->outer;
   const std::uint64_t limit = outer.first_lpn + outer.page_count;
+  // A co-scheduled writer can mark the table's zone map stale at any
+  // step boundary, which destroys the map object. Re-fetch it each step
+  // and stop pruning once it is gone: pages already pruned were pruned
+  // while the statistics still covered every page image the scan could
+  // observe, and un-pruned pages merely cost a read.
+  zone_map_ = db_->zone_map(bound_->spec->table);
   while (page_ < outer.page_count) {
     bool may_match = true;
-    for (const auto& [col, range] : prune_ranges_) {
-      if (!zone_map_->PageMayMatch(page_, col, range.lo, range.hi)) {
-        may_match = false;
-        break;
+    if (zone_map_ != nullptr) {
+      for (const auto& [col, range] : prune_ranges_) {
+        if (!zone_map_->PageMayMatch(page_, col, range.lo, range.hi)) {
+          may_match = false;
+          break;
+        }
       }
     }
     if (!may_match) {
@@ -365,7 +373,12 @@ StepOutcome DeviceQueryTask::StepStart() {
                               "query", start_);
     span_ended_ = false;
   }
-  program_.emplace(bound_, db_->zone_map(bound_->spec->table),
+  if (const storage::ZoneMap* map = db_->zone_map(bound_->spec->table);
+      map != nullptr) {
+    device_zone_map_.emplace(*map);
+  }
+  program_.emplace(bound_,
+                   device_zone_map_.has_value() ? &*device_zone_map_ : nullptr,
                    db_->options().kernel);
   session_ = db_->runtime()->StartSession(*program_, db_->options().polling,
                                           start_, &result_.rows);

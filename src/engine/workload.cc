@@ -64,6 +64,97 @@ void WorkloadScheduler::AddOpenLoopClient(WorkloadQueryConfig config,
   }
 }
 
+void WorkloadScheduler::AddIngestClient(IngestClientConfig config,
+                                        int count, SimDuration think_time,
+                                        SimTime first_arrival) {
+  SMARTSSD_CHECK(!ran_);
+  if (count <= 0) return;
+  ingest_sources_.push_back(IngestSource{.config = std::move(config)});
+  IngestSource& src = ingest_sources_.back();
+  if (tracer_ != nullptr) {
+    src.track = tracer_->RegisterTrack("workload", src.config.client);
+  }
+  src.remaining = count - 1;
+  src.think_time = think_time;
+  expected_ingests_ += static_cast<std::uint64_t>(count);
+  ScheduleIngestArrival(ingest_sources_.size() - 1, first_arrival,
+                        next_id_++);
+}
+
+void WorkloadScheduler::ScheduleIngestArrival(std::size_t source,
+                                              SimTime at, std::uint64_t id) {
+  events_.ScheduleAt(std::max(clock_.now(), at),
+                     [this, source, id](SimTime now) {
+                       const IngestSource& src = ingest_sources_[source];
+                       auto b = std::make_shared<RunningIngest>();
+                       b->id = id;
+                       b->source = source;
+                       b->arrival = now;
+                       b->task = std::make_unique<IngestTask>(
+                           db_, &src.config.spec, now);
+                       ++ingest_in_flight_;
+                       ScheduleIngestStep(std::move(b), now);
+                     });
+}
+
+void WorkloadScheduler::ScheduleIngestStep(std::shared_ptr<RunningIngest> b,
+                                           SimTime at) {
+  events_.ScheduleAt(std::max(clock_.now(), at),
+                     [this, b = std::move(b)](SimTime) { OnIngestStep(b); });
+}
+
+void WorkloadScheduler::OnIngestStep(
+    const std::shared_ptr<RunningIngest>& b) {
+  const StepOutcome outcome = b->task->Step();
+  if (outcome.finished) {
+    OnIngestComplete(b, outcome.at);
+  } else {
+    ScheduleIngestStep(b, outcome.at);
+  }
+}
+
+void WorkloadScheduler::OnIngestComplete(
+    const std::shared_ptr<RunningIngest>& b, SimTime end) {
+  IngestSource& src = ingest_sources_[b->source];
+  CompletedIngest record;
+  record.id = b->id;
+  record.client = src.config.client;
+  record.arrival = b->arrival;
+  record.end = end;
+  record.result = b->task->TakeResult();
+
+  obs::MetricsRegistry& metrics = db_->metrics();
+  metrics.histogram("workload.ingest_latency_ns")->Record(record.latency());
+  std::vector<obs::Arg> span_args{obs::Arg::Uint("id", record.id)};
+  if (record.result.ok()) {
+    const IngestStats& stats = record.result.value();
+    metrics.counter("workload.ingest_completed")->Add();
+    metrics.counter("workload.rows_updated")->Add(stats.rows_updated);
+    metrics.counter("workload.rows_appended")->Add(stats.rows_appended);
+    span_args.push_back(obs::Arg::Uint("rows_updated", stats.rows_updated));
+    span_args.push_back(
+        obs::Arg::Uint("rows_appended", stats.rows_appended));
+    span_args.push_back(
+        obs::Arg::Uint("pages_flushed", stats.pages_flushed));
+  } else {
+    metrics.counter("workload.ingest_failed")->Add();
+    span_args.push_back(
+        obs::Arg::Str("error", record.result.status().message()));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Complete(src.track, "ingest:" + src.config.spec.table,
+                      "workload", record.arrival, record.end,
+                      std::move(span_args));
+  }
+  completed_ingests_.push_back(std::move(record));
+  --ingest_in_flight_;
+
+  if (src.remaining > 0) {
+    --src.remaining;
+    ScheduleIngestArrival(b->source, end + src.think_time, next_id_++);
+  }
+}
+
 void WorkloadScheduler::ScheduleArrival(std::size_t source, SimTime at,
                                         std::uint64_t id) {
   events_.ScheduleAt(std::max(clock_.now(), at),
@@ -208,7 +299,9 @@ Result<std::vector<CompletedQuery>> WorkloadScheduler::Run() {
   ran_ = true;
   events_.RunUntilEmpty();
   if (completed_.size() != expected_ || in_flight_ != 0 ||
-      !parked_.empty() || !admission_queue_.empty()) {
+      completed_ingests_.size() != expected_ingests_ ||
+      ingest_in_flight_ != 0 || !parked_.empty() ||
+      !admission_queue_.empty()) {
     return InternalError(
         "workload scheduler deadlocked: queries stuck parked or queued "
         "with no runnable events");

@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "engine/database.h"
+#include "engine/ingest.h"
 #include "engine/query_task.h"
 #include "exec/query_spec.h"
 #include "sim/clock.h"
@@ -46,6 +47,23 @@ struct CompletedQuery {
 
   SimDuration latency() const { return end - arrival; }
   SimDuration queue_wait() const { return admitted - arrival; }
+};
+
+// One ingest batch template a workload client submits repeatedly.
+struct IngestClientConfig {
+  std::string client = "ingest";
+  IngestBatchSpec spec;
+};
+
+// The completion record of one ingest batch, on the virtual clock.
+struct CompletedIngest {
+  std::uint64_t id = 0;  // shares the query id space (submission order)
+  std::string client;
+  SimTime arrival = 0;
+  SimTime end = 0;
+  Result<IngestStats> result = InternalError("ingest not completed");
+
+  SimDuration latency() const { return end - arrival; }
 };
 
 struct WorkloadOptions {
@@ -95,10 +113,24 @@ class WorkloadScheduler {
                          SimDuration inter_arrival,
                          SimTime first_arrival = 0);
 
+  // Closed-loop ingest client: `count` batches back to back, the next
+  // arriving `think_time` after the previous completes. Ingest batches
+  // are background writers: they bypass query admission control (they
+  // never hold a query slot) but contend for the same simulated host
+  // and device resources, which is exactly the interference the write
+  // path is supposed to exert on query latency.
+  void AddIngestClient(IngestClientConfig config, int count,
+                       SimDuration think_time = 0, SimTime first_arrival = 0);
+
   // Runs to drain and returns completion records in completion order.
   // Call once. Errors only on scheduler-level deadlock (a bug); per-
   // query failures are inside their records.
   Result<std::vector<CompletedQuery>> Run();
+
+  // Ingest completion records in completion order; valid after Run().
+  const std::vector<CompletedIngest>& completed_ingests() const {
+    return completed_ingests_;
+  }
 
   SimTime now() const { return clock_.now(); }
   int peak_in_flight() const { return peak_in_flight_; }
@@ -127,6 +159,20 @@ class WorkloadScheduler {
     std::uint64_t id = 0;
   };
 
+  struct IngestSource {
+    IngestClientConfig config;
+    obs::TrackId track = 0;
+    int remaining = 0;  // arrivals still to generate
+    SimDuration think_time = 0;
+  };
+
+  struct RunningIngest {
+    std::uint64_t id = 0;
+    std::size_t source = 0;
+    SimTime arrival = 0;
+    std::unique_ptr<IngestTask> task;
+  };
+
   std::size_t AddSource(WorkloadQueryConfig config);
   void ScheduleArrival(std::size_t source, SimTime at, std::uint64_t id);
   void OnArrival(std::size_t source, SimTime arrival, std::uint64_t id);
@@ -137,6 +183,13 @@ class WorkloadScheduler {
   void OnComplete(const std::shared_ptr<Running>& q, SimTime end);
   void TryUnpark();
 
+  void ScheduleIngestArrival(std::size_t source, SimTime at,
+                             std::uint64_t id);
+  void ScheduleIngestStep(std::shared_ptr<RunningIngest> b, SimTime at);
+  void OnIngestStep(const std::shared_ptr<RunningIngest>& b);
+  void OnIngestComplete(const std::shared_ptr<RunningIngest>& b,
+                        SimTime end);
+
   Database* db_;
   WorkloadOptions options_;
   sim::Clock clock_;
@@ -144,11 +197,15 @@ class WorkloadScheduler {
   obs::Tracer* tracer_ = nullptr;
 
   std::deque<Source> sources_;  // stable addresses for bound specs
+  std::deque<IngestSource> ingest_sources_;  // stable batch-spec addresses
   std::deque<PendingArrival> admission_queue_;
   std::deque<std::shared_ptr<Running>> parked_;  // waiting for a grant
   std::vector<CompletedQuery> completed_;
+  std::vector<CompletedIngest> completed_ingests_;
   std::uint64_t next_id_ = 1;
   std::uint64_t expected_ = 0;  // total queries this workload will run
+  std::uint64_t expected_ingests_ = 0;
+  int ingest_in_flight_ = 0;
   int in_flight_ = 0;
   int peak_in_flight_ = 0;
   std::uint64_t peak_queue_depth_ = 0;

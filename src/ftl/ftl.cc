@@ -9,10 +9,23 @@ namespace smartssd::ftl {
 
 namespace {
 constexpr std::uint32_t kNoBlock = ~0U;
+
+// Clears the in-GC flag on every exit path of MaybeCollect, so a fault
+// surfaced mid-relocation leaves the FTL able to collect again instead
+// of wedged with GC permanently disabled.
+class GcScope {
+ public:
+  explicit GcScope(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~GcScope() { *flag_ = false; }
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(GcScope);
+
+ private:
+  bool* flag_;
+};
 }  // namespace
 
 Ftl::Ftl(flash::FlashArray* array, const FtlConfig& config)
-    : array_(array), config_(config) {
+    : array_(array), config_(config), policy_(MakeGcPolicy(config.gc_policy)) {
   SMARTSSD_CHECK(array != nullptr);
   SMARTSSD_CHECK(config.over_provisioning >= 0.0 &&
                  config.over_provisioning < 1.0);
@@ -24,6 +37,7 @@ Ftl::Ftl(flash::FlashArray* array, const FtlConfig& config)
   p2l_.assign(g.total_pages(), kUnmapped);
   valid_.assign(g.total_pages(), false);
   valid_per_block_.assign(g.total_blocks(), 0);
+  block_invalidate_stamp_.assign(g.total_blocks(), 0);
 
   cursors_.resize(g.total_chips());
   for (std::uint64_t chip = 0; chip < g.total_chips(); ++chip) {
@@ -56,6 +70,7 @@ Status Ftl::Invalidate(std::uint64_t ppn) {
         "ftl: valid-page accounting underflow (map corruption)");
   }
   --valid_per_block_[block];
+  block_invalidate_stamp_[block] = ++invalidate_stamp_;
   return Status::OK();
 }
 
@@ -68,12 +83,29 @@ void Ftl::AttachMetrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     m_gc_runs_ = nullptr;
     m_gc_relocations_ = nullptr;
-    m_gc_duration_ = nullptr;
+    m_gc_pause_ = nullptr;
+    m_free_blocks_ = nullptr;
+    m_write_amp_ = nullptr;
     return;
   }
   m_gc_runs_ = metrics->counter("ftl.gc_runs");
   m_gc_relocations_ = metrics->counter("ftl.gc_relocations");
-  m_gc_duration_ = metrics->histogram("ftl.gc_run_ns");
+  m_gc_pause_ = metrics->histogram("ftl.gc_pause_ns");
+  m_free_blocks_ = metrics->gauge("ftl.free_blocks");
+  // Gauges are integral, so write amplification is kept in thousandths
+  // (1000 = writes cost exactly what the host asked for).
+  m_write_amp_ = metrics->gauge("ftl.write_amplification");
+  UpdateGauges();
+}
+
+void Ftl::UpdateGauges() {
+  if (m_free_blocks_ != nullptr) {
+    m_free_blocks_->Set(static_cast<std::int64_t>(free_blocks()));
+  }
+  if (m_write_amp_ != nullptr) {
+    m_write_amp_->Set(static_cast<std::int64_t>(
+        stats_.write_amplification() * 1000.0));
+  }
 }
 
 Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
@@ -85,34 +117,37 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
       cursor.free_blocks.size() > config_.gc_low_watermark_blocks) {
     return ready;
   }
-  in_gc_ = true;
+  GcScope gc_scope(&in_gc_);
   ++stats_.gc_runs;
   obs::BumpCounter(m_gc_runs_);
   const std::uint64_t relocations_before = stats_.gc_relocations;
   SimTime now = ready;
 
-  // Greedy victim: the non-active block on this chip with fewest valid
-  // pages (and at least one programmed page so erasing frees something).
+  // Candidates: every non-active, non-free block on this chip. The
+  // configured policy picks the victim.
   const std::uint64_t first_block =
       chip_index * static_cast<std::uint64_t>(g.blocks_per_chip);
-  std::uint32_t victim = kNoBlock;
-  std::uint32_t victim_valid = std::numeric_limits<std::uint32_t>::max();
+  std::vector<GcBlockView> candidates;
+  candidates.reserve(g.blocks_per_chip);
   for (std::uint32_t b = 0; b < g.blocks_per_chip; ++b) {
     if (b == cursor.active_block) continue;
     const bool free_listed =
         std::find(cursor.free_blocks.begin(), cursor.free_blocks.end(),
                   b) != cursor.free_blocks.end();
     if (free_listed) continue;
-    const std::uint32_t valid = valid_per_block_[first_block + b];
-    if (valid < victim_valid) {
-      victim = b;
-      victim_valid = valid;
-    }
+    const std::uint64_t block_index = first_block + b;
+    candidates.push_back(GcBlockView{
+        .block = b,
+        .valid_pages = valid_per_block_[block_index],
+        .erase_count = array_->block_state(block_index).erase_count,
+        .age = invalidate_stamp_ - block_invalidate_stamp_[block_index]});
   }
-  if (victim == kNoBlock) {
-    in_gc_ = false;
+  const std::uint32_t victim =
+      policy_->SelectVictim(candidates, g.pages_per_block);
+  if (victim == GcPolicy::kNoVictim) {
     return ResourceExhaustedError("ftl: no GC victim available");
   }
+  const std::uint32_t victim_valid = valid_per_block_[first_block + victim];
 
   // Relocate the victim's valid pages through the normal write path (the
   // in_gc_ flag suppresses nested collection).
@@ -124,7 +159,6 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
     if (!valid_[ppn]) continue;
     const std::uint64_t lpn = p2l_[ppn];
     if (lpn == kUnmapped) {
-      in_gc_ = false;
       return CorruptionError(
           "ftl: p2l map missing an entry for a valid page");
     }
@@ -155,13 +189,18 @@ Result<SimTime> Ftl::MaybeCollect(int channel, int chip, SimTime ready) {
   const std::uint64_t relocated =
       stats_.gc_relocations - relocations_before;
   obs::BumpCounter(m_gc_relocations_, relocated);
-  obs::RecordHistogram(m_gc_duration_, now - ready);
+  obs::RecordHistogram(m_gc_pause_, now - ready);
+  UpdateGauges();
   if (tracer_ != nullptr) {
-    tracer_->Complete(track_, "gc run", "ftl", ready, now,
-                      {obs::Arg::Uint("relocated_pages", relocated),
-                       obs::Arg::Uint("victim_valid", victim_valid)});
+    tracer_->Complete(
+        track_, "gc run", "ftl", ready, now,
+        {obs::Arg::Uint("relocated_pages", relocated),
+         obs::Arg::Uint("victim_valid", victim_valid),
+         obs::Arg::Uint("victim_erases",
+                        array_->block_state(first_block + victim)
+                            .erase_count),
+         obs::Arg::Str("policy", policy_->name())});
   }
-  in_gc_ = false;
   return now;
 }
 
@@ -187,8 +226,27 @@ Result<std::uint64_t> Ftl::AllocatePage(SimTime ready, SimTime* gc_done) {
                             cursor.active_block)
                 .write_pointer >= g.pages_per_block) {
       if (cursor.free_blocks.empty()) continue;  // try another chip
-      cursor.active_block = cursor.free_blocks.front();
-      cursor.free_blocks.pop_front();
+      // Wear-aware selection: open the least-erased free block (ties to
+      // the lowest block index), so erase counts stay within a bounded
+      // spread instead of the FIFO free list recycling hot blocks.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < cursor.free_blocks.size(); ++i) {
+        const std::uint32_t cand = cursor.free_blocks[i];
+        const std::uint32_t held = cursor.free_blocks[best];
+        const std::uint32_t cand_erases =
+            array_->block_state(chip_index * g.blocks_per_chip + cand)
+                .erase_count;
+        const std::uint32_t held_erases =
+            array_->block_state(chip_index * g.blocks_per_chip + held)
+                .erase_count;
+        if (cand_erases < held_erases ||
+            (cand_erases == held_erases && cand < held)) {
+          best = i;
+        }
+      }
+      cursor.active_block = cursor.free_blocks[best];
+      cursor.free_blocks.erase(cursor.free_blocks.begin() +
+                               static_cast<std::ptrdiff_t>(best));
     }
     const std::uint64_t block_index =
         chip_index * g.blocks_per_chip + cursor.active_block;
@@ -224,6 +282,7 @@ Result<SimTime> Ftl::Write(std::uint64_t lpn,
   valid_[ppn] = true;
   ++valid_per_block_[ppn / array_->geometry().pages_per_block];
   ++stats_.host_writes;
+  UpdateGauges();
   return done;
 }
 
@@ -276,6 +335,23 @@ std::uint32_t Ftl::max_erase_count() const {
     max_count = std::max(max_count, array_->block_state(b).erase_count);
   }
   return max_count;
+}
+
+std::uint32_t Ftl::min_erase_count() const {
+  const flash::Geometry& g = array_->geometry();
+  std::uint32_t min_count = ~0U;
+  for (std::uint64_t b = 0; b < g.total_blocks(); ++b) {
+    min_count = std::min(min_count, array_->block_state(b).erase_count);
+  }
+  return min_count;
+}
+
+std::uint64_t Ftl::free_blocks() const {
+  std::uint64_t total = 0;
+  for (const ChipCursor& cursor : cursors_) {
+    total += cursor.free_blocks.size();
+  }
+  return total;
 }
 
 }  // namespace smartssd::ftl

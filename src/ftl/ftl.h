@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "flash/flash_array.h"
+#include "ftl/gc_policy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,6 +25,8 @@ struct FtlConfig {
   std::uint32_t gc_low_watermark_blocks = 2;
   // Firmware lookup/dispatch overhead charged per host command.
   SimDuration command_overhead = 2 * kMicrosecond;
+  // Victim-selection policy for garbage collection (see gc_policy.h).
+  GcPolicyKind gc_policy = GcPolicyKind::kGreedy;
 };
 
 struct FtlStats {
@@ -83,16 +87,27 @@ class Ftl {
   Status Trim(std::uint64_t lpn);
 
   const FtlStats& stats() const { return stats_; }
+  const FtlConfig& config() const { return config_; }
+  const GcPolicy& gc_policy() const { return *policy_; }
 
   // Records each GC run as a span on an "ftl gc" lane under `process`
-  // (args: relocated pages, victim valid count). nullptr detaches.
+  // (args: relocated pages, victim valid count, erases, policy).
+  // nullptr detaches.
   void AttachTracer(obs::Tracer* tracer, std::string_view process);
 
-  // Registers GC counters and the per-run GC duration histogram.
+  // Registers the GC counters, the per-run pause histogram
+  // (ftl.gc_pause_ns), the free-block gauge, and the write-amplification
+  // gauge (in thousandths: 1000 = no amplification).
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
   // Highest block-erase count across the array (wear ceiling).
   std::uint32_t max_erase_count() const;
+  // Lowest block-erase count across the array; together with
+  // max_erase_count() this bounds the wear spread the wear-aware
+  // allocator maintains.
+  std::uint32_t min_erase_count() const;
+  // Blocks currently on some chip's free list (excludes active blocks).
+  std::uint64_t free_blocks() const;
 
  private:
   static constexpr std::uint64_t kUnmapped = ~0ULL;
@@ -116,14 +131,23 @@ class Ftl {
   // process abort — injected faults must be able to flow past it.
   Status Invalidate(std::uint64_t ppn);
 
+  // Refreshes the free-block and write-amplification gauges (no-op when
+  // no registry is attached).
+  void UpdateGauges();
+
   flash::FlashArray* array_;
   FtlConfig config_;
+  std::unique_ptr<GcPolicy> policy_;
   std::uint64_t logical_pages_;
 
   std::vector<std::uint64_t> l2p_;  // lpn -> ppn or kUnmapped
   std::vector<std::uint64_t> p2l_;  // ppn -> lpn or kUnmapped
   std::vector<bool> valid_;         // per physical page
   std::vector<std::uint32_t> valid_per_block_;
+  // Monotone invalidation clock and, per block, the stamp of its most
+  // recent invalidation — what the cost-benefit policy reads as age.
+  std::uint64_t invalidate_stamp_ = 0;
+  std::vector<std::uint64_t> block_invalidate_stamp_;
 
   std::vector<ChipCursor> cursors_;  // per chip (flat index)
   std::uint64_t stripe_cursor_ = 0;  // round-robin over chips
@@ -134,7 +158,9 @@ class Ftl {
   obs::TrackId track_ = 0;
   obs::Counter* m_gc_runs_ = nullptr;
   obs::Counter* m_gc_relocations_ = nullptr;
-  obs::Histogram* m_gc_duration_ = nullptr;
+  obs::Histogram* m_gc_pause_ = nullptr;
+  obs::Gauge* m_free_blocks_ = nullptr;
+  obs::Gauge* m_write_amp_ = nullptr;
 };
 
 }  // namespace smartssd::ftl

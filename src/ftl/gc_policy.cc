@@ -1,0 +1,86 @@
+#include "ftl/gc_policy.h"
+
+namespace smartssd::ftl {
+
+namespace {
+
+// Shared deterministic tie-break: fewer valid pages, then lower erase
+// count (steer churn toward less-worn blocks), then lower block index.
+bool TieBreakBefore(const GcBlockView& a, const GcBlockView& b) {
+  if (a.valid_pages != b.valid_pages) return a.valid_pages < b.valid_pages;
+  if (a.erase_count != b.erase_count) return a.erase_count < b.erase_count;
+  return a.block < b.block;
+}
+
+class GreedyGcPolicy final : public GcPolicy {
+ public:
+  GcPolicyKind kind() const override { return GcPolicyKind::kGreedy; }
+
+  std::uint32_t SelectVictim(std::span<const GcBlockView> candidates,
+                             std::uint32_t /*pages_per_block*/)
+      const override {
+    const GcBlockView* best = nullptr;
+    for (const GcBlockView& c : candidates) {
+      if (best == nullptr || TieBreakBefore(c, *best)) best = &c;
+    }
+    return best == nullptr ? kNoVictim : best->block;
+  }
+};
+
+class CostBenefitGcPolicy final : public GcPolicy {
+ public:
+  GcPolicyKind kind() const override { return GcPolicyKind::kCostBenefit; }
+
+  std::uint32_t SelectVictim(std::span<const GcBlockView> candidates,
+                             std::uint32_t pages_per_block) const override {
+    // score = freed * (1 + age) / (pages_per_block + valid): the LFS
+    // benefit/cost rule with utilization u = valid/pages_per_block.
+    // Scores compare by cross-multiplication in 128-bit integers, so the
+    // ordering is exact and platform-independent.
+    const GcBlockView* best = nullptr;
+    for (const GcBlockView& c : candidates) {
+      if (best == nullptr || ScoreBefore(*best, c, pages_per_block) ||
+          (!ScoreBefore(c, *best, pages_per_block) &&
+           TieBreakBefore(c, *best))) {
+        best = &c;
+      }
+    }
+    return best == nullptr ? kNoVictim : best->block;
+  }
+
+ private:
+  // True iff a's score is strictly below b's.
+  static bool ScoreBefore(const GcBlockView& a, const GcBlockView& b,
+                          std::uint32_t pages_per_block) {
+    using U128 = unsigned __int128;
+    const U128 num_a = U128(pages_per_block - a.valid_pages) * (1 + a.age);
+    const U128 num_b = U128(pages_per_block - b.valid_pages) * (1 + b.age);
+    const U128 den_a = pages_per_block + a.valid_pages;
+    const U128 den_b = pages_per_block + b.valid_pages;
+    return num_a * den_b < num_b * den_a;
+  }
+};
+
+}  // namespace
+
+std::string_view GcPolicyName(GcPolicyKind kind) {
+  switch (kind) {
+    case GcPolicyKind::kGreedy:
+      return "greedy";
+    case GcPolicyKind::kCostBenefit:
+      return "cost-benefit";
+  }
+  return "?";
+}
+
+std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind) {
+  switch (kind) {
+    case GcPolicyKind::kGreedy:
+      return std::make_unique<GreedyGcPolicy>();
+    case GcPolicyKind::kCostBenefit:
+      return std::make_unique<CostBenefitGcPolicy>();
+  }
+  return std::make_unique<GreedyGcPolicy>();
+}
+
+}  // namespace smartssd::ftl

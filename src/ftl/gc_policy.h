@@ -1,0 +1,65 @@
+#ifndef SMARTSSD_FTL_GC_POLICY_H_
+#define SMARTSSD_FTL_GC_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace smartssd::ftl {
+
+// Which victim-selection policy the FTL's garbage collector runs. The
+// two classic families (see EagleTree's Garbage_Collector_* hierarchy):
+//
+//   kGreedy      — fewest valid pages wins. Minimizes relocation work
+//                  per run, but under a hot/cold mix it keeps re-picking
+//                  the hot blocks and never reclaims cold ones.
+//   kCostBenefit — the LFS-style (benefit/cost) = (1-u)(1+age)/(1+u)
+//                  rule: blocks that have not been invalidated recently
+//                  (cold, LRU-style) win even with more valid pages,
+//                  trading extra relocations now for fewer GC runs on
+//                  the hot blocks later.
+//
+// Both policies are deterministic: scores compare in exact integer
+// arithmetic and every tie breaks toward fewer valid pages, then lower
+// erase count, then lower block index.
+enum class GcPolicyKind {
+  kGreedy = 0,
+  kCostBenefit,
+};
+
+std::string_view GcPolicyName(GcPolicyKind kind);
+
+// What the policy sees of one candidate block (chip-relative). The FTL
+// only offers non-active, non-free blocks as candidates.
+struct GcBlockView {
+  std::uint32_t block = 0;        // chip-relative block index
+  std::uint32_t valid_pages = 0;  // pages GC would have to relocate
+  std::uint32_t erase_count = 0;  // wear
+  // Invalidation stamps elapsed since a page of this block was last
+  // invalidated — the policy's "age": large means cold. A block never
+  // invalidated reports the full stamp count (maximally cold).
+  std::uint64_t age = 0;
+};
+
+class GcPolicy {
+ public:
+  static constexpr std::uint32_t kNoVictim = ~0U;
+
+  virtual ~GcPolicy() = default;
+
+  virtual GcPolicyKind kind() const = 0;
+  std::string_view name() const { return GcPolicyName(kind()); }
+
+  // Picks the victim's chip-relative block index from `candidates`, or
+  // kNoVictim when the list is empty.
+  virtual std::uint32_t SelectVictim(
+      std::span<const GcBlockView> candidates,
+      std::uint32_t pages_per_block) const = 0;
+};
+
+std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind);
+
+}  // namespace smartssd::ftl
+
+#endif  // SMARTSSD_FTL_GC_POLICY_H_

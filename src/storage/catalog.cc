@@ -14,6 +14,14 @@ Result<const TableInfo*> Catalog::GetTable(std::string_view name) const {
   return &it->second;
 }
 
+Result<TableInfo*> Catalog::GetMutableTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError("no such table: " + std::string(name));
+  }
+  return &it->second;
+}
+
 bool Catalog::HasTable(std::string_view name) const {
   return tables_.find(name) != tables_.end();
 }
@@ -21,6 +29,9 @@ bool Catalog::HasTable(std::string_view name) const {
 Status Catalog::AddTable(TableInfo info) {
   if (HasTable(info.name)) {
     return AlreadyExistsError("table already exists: " + info.name);
+  }
+  if (info.reserved_pages < info.page_count) {
+    info.reserved_pages = info.page_count;
   }
   tables_.emplace(info.name, std::move(info));
   return Status::OK();

@@ -24,6 +24,11 @@ struct TableInfo {
   std::uint64_t page_count = 0;
   std::uint64_t tuple_count = 0;
   std::uint32_t tuples_per_page = 0;  // page capacity for this schema
+  // Total pages of the table's extent, >= page_count. Appends grow
+  // page_count into the reserved headroom; tables loaded without
+  // reservation have reserved_pages == page_count and reject appends
+  // once full.
+  std::uint64_t reserved_pages = 0;
 
   std::uint64_t bytes() const;
 };
@@ -37,6 +42,9 @@ class Catalog {
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(Catalog);
 
   Result<const TableInfo*> GetTable(std::string_view name) const;
+  // Mutable view for the write path (appends advance page_count and
+  // tuple_count in place; the extent itself never moves).
+  Result<TableInfo*> GetMutableTable(std::string_view name);
   Status AddTable(TableInfo info);
   bool HasTable(std::string_view name) const;
 

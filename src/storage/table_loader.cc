@@ -22,7 +22,8 @@ TableLoader::TableLoader(ssd::BlockDevice* device, Catalog* catalog)
 Result<TableInfo> TableLoader::Load(std::string name, const Schema& schema,
                                     PageLayout layout,
                                     std::uint64_t row_count,
-                                    const RowGenerator& generator) {
+                                    const RowGenerator& generator,
+                                    std::uint64_t reserve_extra_pages) {
   if (catalog_->HasTable(name)) {
     return AlreadyExistsError("table already exists: " + name);
   }
@@ -36,8 +37,9 @@ Result<TableInfo> TableLoader::Load(std::string name, const Schema& schema,
   }
   const std::uint64_t page_count =
       row_count == 0 ? 1 : (row_count + capacity - 1) / capacity;
+  const std::uint64_t extent_pages = page_count + reserve_extra_pages;
   SMARTSSD_ASSIGN_OR_RETURN(const std::uint64_t first_lpn,
-                            catalog_->AllocateExtent(page_count));
+                            catalog_->AllocateExtent(extent_pages));
 
   NsmPageBuilder nsm(&schema, page_size);
   PaxPageBuilder pax(&schema, page_size);
@@ -103,7 +105,8 @@ Result<TableInfo> TableLoader::Load(std::string name, const Schema& schema,
                  .first_lpn = first_lpn,
                  .page_count = next_lpn - first_lpn,
                  .tuple_count = row_count,
-                 .tuples_per_page = capacity};
+                 .tuples_per_page = capacity,
+                 .reserved_pages = extent_pages};
   SMARTSSD_RETURN_IF_ERROR(catalog_->AddTable(info));
   return info;
 }

@@ -27,9 +27,12 @@ class TableLoader {
   TableLoader(ssd::BlockDevice* device, Catalog* catalog);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(TableLoader);
 
+  // `reserve_extra_pages` grows the table's extent past what `row_count`
+  // needs, leaving headroom the append path can grow page_count into.
   Result<TableInfo> Load(std::string name, const Schema& schema,
                          PageLayout layout, std::uint64_t row_count,
-                         const RowGenerator& generator);
+                         const RowGenerator& generator,
+                         std::uint64_t reserve_extra_pages = 0);
 
  private:
   ssd::BlockDevice* device_;

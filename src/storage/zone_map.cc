@@ -49,37 +49,58 @@ Result<ZoneMap> ZoneMap::Build(
   for (std::uint64_t p = 0; p < info.page_count; ++p) {
     SMARTSSD_ASSIGN_OR_RETURN(std::span<const std::byte> page,
                               read_page(p));
-    Range* page_ranges =
-        map.ranges_.data() +
-        p * static_cast<std::uint64_t>(map.tracked_columns_);
-    auto fold = [&](int col, const std::byte* value_bytes) {
-      const int slot = map.column_slots_[static_cast<std::size_t>(col)];
-      if (slot < 0) return;
-      const std::int64_t v = ReadIntColumn(schema, col, value_bytes);
-      Range& range = page_ranges[slot];
-      range.min = std::min(range.min, v);
-      range.max = std::max(range.max, v);
-    };
-    if (info.layout == PageLayout::kNsm) {
-      SMARTSSD_ASSIGN_OR_RETURN(const NsmPageReader reader,
-                                NsmPageReader::Open(&schema, page));
-      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
-        const std::byte* tuple = reader.tuple(i);
-        for (int c = 0; c < schema.num_columns(); ++c) {
-          fold(c, tuple + schema.offset(c));
-        }
+    SMARTSSD_RETURN_IF_ERROR(map.FoldPage(info, p, page));
+  }
+  return map;
+}
+
+Status ZoneMap::FoldPage(const TableInfo& info, std::uint64_t page_index,
+                         std::span<const std::byte> page) {
+  const Schema& schema = info.schema;
+  Range* page_ranges =
+      ranges_.data() +
+      page_index * static_cast<std::uint64_t>(tracked_columns_);
+  auto fold = [&](int col, const std::byte* value_bytes) {
+    const int slot = column_slots_[static_cast<std::size_t>(col)];
+    if (slot < 0) return;
+    const std::int64_t v = ReadIntColumn(schema, col, value_bytes);
+    Range& range = page_ranges[slot];
+    range.min = std::min(range.min, v);
+    range.max = std::max(range.max, v);
+  };
+  if (info.layout == PageLayout::kNsm) {
+    SMARTSSD_ASSIGN_OR_RETURN(const NsmPageReader reader,
+                              NsmPageReader::Open(&schema, page));
+    for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+      const std::byte* tuple = reader.tuple(i);
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        fold(c, tuple + schema.offset(c));
       }
-    } else {
-      SMARTSSD_ASSIGN_OR_RETURN(const PaxPageReader reader,
-                                PaxPageReader::Open(&schema, page));
-      for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
-        for (int c = 0; c < schema.num_columns(); ++c) {
-          fold(c, reader.value(i, c));
-        }
+    }
+  } else {
+    SMARTSSD_ASSIGN_OR_RETURN(const PaxPageReader reader,
+                              PaxPageReader::Open(&schema, page));
+    for (std::uint16_t i = 0; i < reader.tuple_count(); ++i) {
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        fold(c, reader.value(i, c));
       }
     }
   }
-  return map;
+  return Status::OK();
+}
+
+Status ZoneMap::WidenFromPage(const TableInfo& info,
+                              std::uint64_t page_index,
+                              std::span<const std::byte> page) {
+  if (page_index >= pages_) {
+    pages_ = page_index + 1;
+    ranges_.resize(
+        static_cast<std::size_t>(pages_) *
+            static_cast<std::size_t>(tracked_columns_),
+        Range{std::numeric_limits<std::int64_t>::max(),
+              std::numeric_limits<std::int64_t>::min()});
+  }
+  return FoldPage(info, page_index, page);
 }
 
 bool ZoneMap::TracksColumn(int col) const {

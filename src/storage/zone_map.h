@@ -43,6 +43,15 @@ class ZoneMap {
   // The page's [min, max] for a tracked column.
   Result<Range> PageRange(std::uint64_t page_index, int col) const;
 
+  // Widens page statistics from a fresh page image after a write.
+  // Grows the map (with empty-page sentinels) when `page_index` is past
+  // the last tracked page, so appends into reserved extent headroom are
+  // covered. Widening is sound but lossy for in-place updates: ranges
+  // only grow, so pruning stays correct while a full Build would be
+  // tighter.
+  Status WidenFromPage(const TableInfo& info, std::uint64_t page_index,
+                       std::span<const std::byte> page);
+
   bool TracksColumn(int col) const;
   std::uint64_t pages() const { return pages_; }
   std::uint64_t memory_bytes() const {
@@ -51,6 +60,10 @@ class ZoneMap {
 
  private:
   ZoneMap() = default;
+
+  // Folds every row of `page` into the page's ranges (min/max widen).
+  Status FoldPage(const TableInfo& info, std::uint64_t page_index,
+                  std::span<const std::byte> page);
 
   std::uint64_t pages_ = 0;
   std::vector<int> column_slots_;  // schema col -> slot or -1

@@ -86,7 +86,17 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
   // ref (scalar + vectorized twin) + 4 single configs + 3 parallel
-  // configs + 2 fleet configs per spec.
+  // configs + 2 fleet configs + 4 write-path GC configs per spec.
+  EXPECT_EQ(report.executions, 2 * 15);
+}
+
+TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
+  check::HarnessOptions options;
+  options.with_faults = false;
+  options.with_write_phase = false;
+  options.specs_per_seed = 2;
+  const check::HarnessReport report = check::RunDifferentialSeed(1, options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
   EXPECT_EQ(report.executions, 2 * 11);
 }
 
