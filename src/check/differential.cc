@@ -138,6 +138,18 @@ class DifferentialRunner {
     db_ref_vec_ = std::make_unique<Database>(base);
     db_nsm_ = std::make_unique<Database>(base);
     db_pax_ = std::make_unique<Database>(base);
+
+    // Spill axis: tiny join budgets against the ~22 KiB inner hash
+    // table force 2-pass (12 KiB) and 3-pass (4 KiB) hybrid joins. No
+    // zone map and NSM layout, so these configs read the exact pages
+    // the reference does — results AND OpCounts must both match it
+    // byte-for-byte (spilling is pure overhead, never semantics).
+    DatabaseOptions spill2 = base;
+    spill2.join_spill.budget_bytes = 12 * 1024;
+    DatabaseOptions spill3 = base;
+    spill3.join_spill.budget_bytes = 4096;
+    db_spill2_ = std::make_unique<Database>(spill2);
+    db_spill3_ = std::make_unique<Database>(spill3);
     SMARTSSD_CHECK(
         LoadTables(*db_ref_, gen_.tables, storage::PageLayout::kNsm).ok());
     SMARTSSD_CHECK(
@@ -147,6 +159,12 @@ class DifferentialRunner {
         LoadTables(*db_nsm_, gen_.tables, storage::PageLayout::kNsm).ok());
     SMARTSSD_CHECK(
         LoadTables(*db_pax_, gen_.tables, storage::PageLayout::kPax).ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_spill2_, gen_.tables, storage::PageLayout::kNsm)
+            .ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_spill3_, gen_.tables, storage::PageLayout::kNsm)
+            .ok());
     // The reference database keeps NO zone map: it is the unpruned
     // ground truth a broken pruning path must disagree with.
     SMARTSSD_CHECK(db_nsm_->BuildZoneMap(kOuterTable).ok());
@@ -218,6 +236,8 @@ class DifferentialRunner {
     db_ref_vec_->AttachTracer(&tracer_ref_vec_, "refv-dev", "refv-host");
     db_nsm_->AttachTracer(&tracer_nsm_, "nsm-dev", "nsm-host");
     db_pax_->AttachTracer(&tracer_pax_, "pax-dev", "pax-host");
+    db_spill2_->AttachTracer(&tracer_spill2_, "sp2-dev", "sp2-host");
+    db_spill3_->AttachTracer(&tracer_spill3_, "sp3-dev", "sp3-host");
     fleet3_->AttachTracer(&tracer_fleet3_);
     fleet_het2_->AttachTracer(&tracer_fleet2_);
   }
@@ -293,6 +313,12 @@ class DifferentialRunner {
       obs::Tracer* tracer;
       ExecutionTarget target;
       std::optional<sim::FaultKind> fault;
+      // Spill configs read the same unpruned NSM pages the reference
+      // does, so their OpCounts must be identical too: a hybrid join
+      // that charges its partitioning or spill I/O into the counts (or
+      // drops/doubles a probe across passes) fails here even when the
+      // output bytes happen to survive.
+      bool compare_counts = false;
     };
     std::vector<SingleConfig> singles = {
         {"nsm-host", db_nsm_.get(), &tracer_nsm_, ExecutionTarget::kHost,
@@ -303,6 +329,10 @@ class DifferentialRunner {
          std::nullopt},
         {"pax-smart", db_pax_.get(), &tracer_pax_,
          ExecutionTarget::kSmartSsd, std::nullopt},
+        {"nsm-spill2-smart", db_spill2_.get(), &tracer_spill2_,
+         ExecutionTarget::kSmartSsd, std::nullopt, true},
+        {"nsm-spill3-smart", db_spill3_.get(), &tracer_spill3_,
+         ExecutionTarget::kSmartSsd, std::nullopt, true},
     };
     if (options_.with_faults) {
       const std::size_t n = std::size(kFaultRotation);
@@ -313,6 +343,17 @@ class DifferentialRunner {
           {"pax-smart-fault", db_pax_.get(), &tracer_pax_,
            ExecutionTarget::kSmartSsd,
            kFaultRotation[(static_cast<std::size_t>(index) + 2) % n]});
+      // A session dying mid-spill must release its flash extents and
+      // fall back to a byte-identical host join (the host rerun scans
+      // the same unpruned pages, so counts stay comparable).
+      singles.push_back(
+          {"nsm-spill2-smart-fault", db_spill2_.get(), &tracer_spill2_,
+           ExecutionTarget::kSmartSsd,
+           kFaultRotation[(static_cast<std::size_t>(index) + 1) % n], true});
+      singles.push_back(
+          {"nsm-spill3-smart-fault", db_spill3_.get(), &tracer_spill3_,
+           ExecutionTarget::kSmartSsd,
+           kFaultRotation[(static_cast<std::size_t>(index) + 3) % n], true});
     }
     for (const SingleConfig& config : singles) {
       sim::FaultSchedule schedule;
@@ -327,6 +368,12 @@ class DifferentialRunner {
       if (Status diff = CompareOutputs(*ref, *out); !diff.ok()) {
         return std::make_pair(std::string(config.name),
                               diff.ToString());
+      }
+      if (config.compare_counts) {
+        if (Status diff = CompareCounts(*ref, *out); !diff.ok()) {
+          return std::make_pair(std::string(config.name),
+                                diff.ToString());
+        }
       }
     }
 
@@ -636,6 +683,8 @@ class DifferentialRunner {
   std::unique_ptr<Database> db_ref_vec_;
   std::unique_ptr<Database> db_nsm_;
   std::unique_ptr<Database> db_pax_;
+  std::unique_ptr<Database> db_spill2_;
+  std::unique_ptr<Database> db_spill3_;
   std::unique_ptr<ParallelDatabase> par1_;
   std::unique_ptr<ParallelDatabase> par2_;
   std::unique_ptr<ParallelDatabase> par4_;
@@ -651,6 +700,8 @@ class DifferentialRunner {
   obs::Tracer tracer_ref_vec_;
   obs::Tracer tracer_nsm_;
   obs::Tracer tracer_pax_;
+  obs::Tracer tracer_spill2_;
+  obs::Tracer tracer_spill3_;
   obs::Tracer tracer_fleet3_;
   obs::Tracer tracer_fleet2_;
   int executions_ = 0;

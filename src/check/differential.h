@@ -6,13 +6,18 @@
 //
 //   * host scan (NSM, no zone map): the unpruned ground truth,
 //   * host and pushdown over NSM and PAX with zone maps,
+//   * pushdown under tiny join memory budgets (12 KiB and 4 KiB), so
+//     joins run the hybrid spill path with 2 and 3 passes — results
+//     AND OpCounts must match the unconstrained reference exactly,
 //   * ParallelDatabase with 1, 2, and 4 workers (pushdown),
 //   * pushdown with an injected device fault (rotating fault kinds),
-//     exercising retry, degraded host fallback, and the breaker,
+//     exercising retry, degraded host fallback, and the breaker —
+//     including faults landing mid-spill,
 //
 // asserting byte-identical rows/aggregates against the ground truth
 // plus structural invariants (trace span balance, monotone instants,
-// no device-DRAM leaks, breaker-state sanity) after every execution.
+// no device-DRAM or spill-extent leaks, breaker-state sanity) after
+// every execution.
 //
 // Determinism contract: RunDifferentialSeed(seed) is a pure function of
 // (seed, options). Each spec within a seed is itself generated purely

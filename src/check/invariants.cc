@@ -60,6 +60,11 @@ Status CheckNoDeviceDramLeak(const engine::Database& db) {
         std::to_string(capacity - ssd->device_dram_free()) +
         " bytes still allocated after execution");
   }
+  if (ssd->spill_pages_held() != 0) {
+    return InternalError(
+        "spill extent leak: " + std::to_string(ssd->spill_pages_held()) +
+        " logical page(s) still held after execution");
+  }
   return Status::OK();
 }
 

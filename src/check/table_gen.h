@@ -47,7 +47,11 @@ inline constexpr std::int64_t kCat2Cardinality = 5;
 struct TableGenConfig {
   std::uint64_t seed = 1;
   std::uint64_t outer_rows = 1'500;
-  std::uint64_t inner_rows = 128;
+  // Large enough that the differential spill configurations' join
+  // budgets force multi-pass hybrid joins (the estimated hash table is
+  // ~22 KiB against 12 KiB / 4 KiB budgets) while unconstrained
+  // configurations still build it whole.
+  std::uint64_t inner_rows = 512;
 
   // FK domain [1, fk_domain]; the quarter above inner_rows are probe
   // misses, so inner joins drop rows on every path.

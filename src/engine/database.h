@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "engine/buffer_pool.h"
+#include "exec/hybrid_join.h"
 #include "exec/kernel_mode.h"
 #include "engine/circuit_breaker.h"
 #include "engine/host_machine.h"
@@ -52,6 +53,14 @@ struct DatabaseOptions {
   // time never depends on this); kScalar exists as the semantic
   // reference for differential testing.
   exec::KernelMode kernel = exec::KernelMode::kVectorized;
+  // Memory-constrained pushdown joins. budget_bytes caps the resident
+  // build side of an in-device join; when the estimated hash table
+  // exceeds it, the build switches to the hybrid hash join and the
+  // overflow partitions spill to flash through the internal write path.
+  // budget_bytes == 0 keeps the unconstrained build, but a join whose
+  // table cannot fit free device DRAM derives a budget instead of
+  // falling off the old routing cliff (see ResolveJoinBudget).
+  exec::HybridJoinConfig join_spill;
 
   // The paper's three storage configurations (Section 4.1.2), identical
   // host, differing only in the device behind the HBA.

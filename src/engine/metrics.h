@@ -6,6 +6,7 @@
 
 #include "common/units.h"
 #include "exec/cost_model.h"
+#include "exec/hybrid_join.h"
 #include "smart/runtime.h"
 #include "storage/types.h"
 
@@ -67,6 +68,9 @@ struct QueryStats {
   std::uint64_t embedded_cycles = 0;
   exec::OpCounts counts;
   smart::SessionStats session;  // populated on the smart path
+  // Hybrid-join spill behavior on the smart path; all-zero when the
+  // join stayed fully resident (or there was no join).
+  exec::HybridJoinStats join_spill;
 
   // Degraded execution: set when a pushdown session failed with a
   // retryable device error and the executor transparently re-ran the

@@ -29,7 +29,28 @@ void ScaleEval(const expr::EvalStats& per_row, double rows, double factor,
   out->case_evals += scale(per_row.case_evals);
 }
 
+// Streaming buffers, output staging, firmware slack — what the device
+// needs on top of the join's resident build side.
+constexpr std::uint64_t kJoinDramOverheadBytes = 4ull * 1024 * 1024;
+
 }  // namespace
+
+std::uint64_t ResolveJoinBudget(const Database& db,
+                                const exec::BoundQuery& bound) {
+  if (!bound.spec->join.has_value() || db.ssd() == nullptr) return 0;
+  const std::uint64_t knob = db.options().join_spill.budget_bytes;
+  if (knob > 0) return knob;
+  const std::uint64_t table_bytes = exec::JoinHashTable::EstimateBytes(
+      bound.inner->tuple_count, bound.payload_width);
+  const std::uint64_t free = db.ssd()->device_dram_free();
+  if (table_bytes + kJoinDramOverheadBytes <= free) return 0;
+  // Derived budget: a quarter of what is left after the streaming
+  // overhead, so the OPEN grant (budget + buffers + staging) still fits
+  // with room for the other session state.
+  return free > kJoinDramOverheadBytes
+             ? (free - kJoinDramOverheadBytes) / 4
+             : 0;
+}
 
 PushdownPlanner::PushdownPlanner(Database* db) : db_(db) {
   SMARTSSD_CHECK(db != nullptr);
@@ -158,7 +179,37 @@ double PushdownPlanner::EstimateSmartSeconds(const exec::BoundQuery& bound,
       static_cast<double>(counts.output_bytes) /
       static_cast<double>(ssd::EffectiveBytesPerSecond(
           db_->options().ssd.host_interface.standard));
-  return std::max({io_s, cpu_s, transfer_s});
+  // Hybrid-join spill traffic: the fraction of the build side that does
+  // not fit the budget is written to flash and re-read once per resolve
+  // pass, and the deferred probe records make the same round trip. This
+  // rides the internal data path, so it adds to the I/O stage.
+  double spill_s = 0;
+  if (bound.spec->join.has_value()) {
+    const std::uint64_t budget = ResolveJoinBudget(*db_, bound);
+    const std::uint64_t table_bytes = exec::JoinHashTable::EstimateBytes(
+        bound.inner->tuple_count, bound.payload_width);
+    if (budget > 0 && table_bytes > budget) {
+      const double spilled_fraction =
+          1.0 - static_cast<double>(budget) /
+                    static_cast<double>(table_bytes);
+      const double fanout = static_cast<double>(
+          std::max<std::uint32_t>(db_->options().join_spill.fanout, 2));
+      const double passes = std::max(
+          1.0, std::ceil(std::log(static_cast<double>(table_bytes) /
+                                  static_cast<double>(budget)) /
+                         std::log(fanout)));
+      const double build_bytes =
+          static_cast<double>(inner_pages) * page_size;
+      const double probe_bytes =
+          static_cast<double>(counts.probes) *
+          static_cast<double>(bound.outer->schema.tuple_size() + 8);
+      spill_s = spilled_fraction * (build_bytes + probe_bytes) * 2.0 *
+                passes /
+                static_cast<double>(
+                    db_->EstimatedInternalReadBytesPerSecond());
+    }
+  }
+  return std::max({io_s + spill_s, cpu_s, transfer_s});
 }
 
 Result<PlanDecision> PushdownPlanner::Decide(const exec::BoundQuery& bound,
@@ -204,13 +255,21 @@ Result<PlanDecision> PushdownPlanner::Decide(const exec::BoundQuery& bound,
   }
 
   if (bound.spec->join.has_value()) {
-    const std::uint64_t needed =
-        exec::JoinHashTable::EstimateBytes(bound.inner->tuple_count,
-                                           bound.payload_width) +
-        2ull * 1024 * 1024;
-    if (needed > db_->ssd()->device_dram_free()) {
+    const std::uint64_t table_bytes = exec::JoinHashTable::EstimateBytes(
+        bound.inner->tuple_count, bound.payload_width);
+    const std::uint64_t budget = ResolveJoinBudget(*db_, bound);
+    const bool hybrid = budget > 0 && table_bytes > budget;
+    if (hybrid && budget < kMinJoinBudgetBytes) {
       decision.target = ExecutionTarget::kHost;
-      decision.reason = "join hash table exceeds device DRAM";
+      decision.reason = "join budget below the hybrid spill floor";
+      return decision;
+    }
+    const std::uint64_t resident =
+        (hybrid ? budget : table_bytes) + 2ull * 1024 * 1024;
+    if (resident > db_->ssd()->device_dram_free()) {
+      decision.target = ExecutionTarget::kHost;
+      decision.reason = hybrid ? "join budget exceeds device DRAM"
+                               : "join hash table exceeds device DRAM";
       return decision;
     }
   }

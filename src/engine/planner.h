@@ -26,6 +26,23 @@ struct PlanDecision {
   double est_smart_seconds = 0;
 };
 
+// Below this resident budget the hybrid join degenerates (partitions
+// keep exceeding the grant past the recursion limit); the planner
+// routes such queries to the host instead.
+inline constexpr std::uint64_t kMinJoinBudgetBytes = 4096;
+
+// Resolves the memory budget a pushdown join of `bound` on `db` would
+// run under: the configured knob (options().join_spill.budget_bytes)
+// when set; otherwise 0 (unconstrained simple hash join) while the
+// estimated hash table plus streaming overhead fits free device DRAM;
+// otherwise a budget derived from the free DRAM, so an oversized build
+// engages the hybrid spill path instead of falling off the old routing
+// cliff. Returns 0 for non-joins and non-smart devices. Both the
+// planner's cost model and DeviceQueryTask use this, so the predicted
+// mode always matches what the program actually runs.
+std::uint64_t ResolveJoinBudget(const Database& db,
+                                const exec::BoundQuery& bound);
+
 // Decides whether to run a query the usual way or push it into the
 // Smart SSD. Encodes the rules Section 4.3 lays out:
 //
@@ -34,7 +51,9 @@ struct PlanDecision {
 //      (the device would compute over stale data);
 //   3. data already mostly cached -> host (pushdown would re-read flash
 //      for pages RAM already holds);
-//   4. the join hash table must fit device DRAM -> else host;
+//   4. the join's resident memory must fit device DRAM: the whole hash
+//      table in unconstrained mode, the spill budget in hybrid mode —
+//      and a budget below the spill floor goes to the host outright;
 //   5. otherwise, estimated cost decides: each path is a pipeline whose
 //      elapsed time is the max of its stage times (I/O, CPU, result
 //      transfer).

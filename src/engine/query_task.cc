@@ -377,9 +377,16 @@ StepOutcome DeviceQueryTask::StepStart() {
       map != nullptr) {
     device_zone_map_.emplace(*map);
   }
+  exec::HybridJoinConfig spill = db_->options().join_spill;
+  if (bound_->spec->join.has_value()) {
+    spill.budget_bytes = ResolveJoinBudget(*db_, *bound_);
+    // The spill allocator grows down from the top of the LPN space; tell
+    // it where the catalog's extents end before any session may spill.
+    db_->ssd()->set_spill_floor(db_->catalog().pages_allocated());
+  }
   program_.emplace(bound_,
                    device_zone_map_.has_value() ? &*device_zone_map_ : nullptr,
-                   db_->options().kernel);
+                   db_->options().kernel, spill, db_->device().page_size());
   session_ = db_->runtime()->StartSession(*program_, db_->options().polling,
                                           start_, &result_.rows);
   state_ = State::kSession;
@@ -389,6 +396,31 @@ StepOutcome DeviceQueryTask::StepStart() {
 StepOutcome DeviceQueryTask::StepSession() {
   if (wait_for_grant_ && !session_started_ &&
       db_->runtime()->session_slots_free() <= 0) {
+    if (fallback_ && db_->circuit_breaker().open()) {
+      // Every session grant is taken and the breaker says the device is
+      // failing. The grant holders are likely dying sessions, and while
+      // the breaker is open the planner routes new work around the
+      // device — so no healthy session is coming to free a slot, and a
+      // parked task would wait out the whole outage (or forever, if the
+      // holder is wedged). Redispatch to the host instead. This task
+      // never touched the device: no breaker failure is recorded and
+      // the stats report zero device attempts.
+      CloseSpanForError();
+      device_error_ = ResourceExhaustedError(
+          "session grant unavailable while the device breaker is open");
+      if (tracer_ != nullptr) {
+        tracer_->Instant(
+            db_->executor_track(), "fallback to host", "query", start_,
+            {obs::Arg::Str("reason", FallbackReasonToken(device_error_)),
+             obs::Arg::Str("error", device_error_.message())});
+      }
+      db_->metrics().counter("engine.fallbacks")->Add();
+      fell_back_ = true;
+      redispatched_without_attempt_ = true;
+      host_rerun_.emplace(db_, bound_, start_);
+      state_ = State::kHostRerun;
+      return {.at = start_};
+    }
     return {.at = start_, .waiting_for_grant = true};
   }
   Result<SimTime> stepped = InternalError("unreachable");
@@ -409,6 +441,7 @@ StepOutcome DeviceQueryTask::StepSession() {
   stats.end = session.close_done;
   stats.embedded_cycles = session.embedded_cycles;
   stats.counts = program_->counts();
+  stats.join_spill = program_->hybrid_stats();
   stats.pages_read = session.pages_processed;
   stats.pages_skipped = program_->pages_skipped();
   // Host-link traffic: result bytes plus one command round per
@@ -475,7 +508,7 @@ StepOutcome DeviceQueryTask::StepHostRerun() {
   QueryResult result = std::move(rerun.value());
   result.stats.start = start_;  // the query began at the pushdown attempt
   result.stats.fell_back = true;
-  result.stats.device_attempts = 1;
+  result.stats.device_attempts = redispatched_without_attempt_ ? 0 : 1;
   result.stats.fallback_reason = FallbackReasonString(device_error_);
   // The breakdown must cover the wasted device attempt too, not just the
   // host re-run.

@@ -167,6 +167,10 @@ class DeviceQueryTask {
   bool session_started_ = false;
   SimTime failed_at_ = 0;
   bool fell_back_ = false;
+  // Set when the task abandoned its park for a session grant because the
+  // breaker opened: the query fell back without ever reaching the
+  // device, so the stats must not count a device attempt.
+  bool redispatched_without_attempt_ = false;
   Status device_error_ = Status::OK();
   std::optional<HostQueryTask> host_rerun_;
 };

@@ -284,6 +284,19 @@ void WorkloadScheduler::OnComplete(const std::shared_ptr<Running>& q,
 
 void WorkloadScheduler::TryUnpark() {
   if (parked_.empty() || db_->runtime() == nullptr) return;
+  if (db_->circuit_breaker().open()) {
+    // The device is failing: no healthy session is coming to free a
+    // grant, so waiting on slot counts can strand every parked task
+    // until the scheduler drains and reports a deadlock. Wake them all;
+    // each task sees the open breaker on its next step and redispatches
+    // itself to the host (DeviceQueryTask::StepSession).
+    while (!parked_.empty()) {
+      std::shared_ptr<Running> q = parked_.front();
+      parked_.pop_front();
+      ScheduleStep(std::move(q), clock_.now());
+    }
+    return;
+  }
   int free = db_->runtime()->session_slots_free();
   while (free-- > 0 && !parked_.empty()) {
     std::shared_ptr<Running> q = parked_.front();

@@ -6,7 +6,13 @@ namespace smartssd::exec {
 
 namespace {
 
-std::uint64_t HashKey(std::int64_t key) {
+std::uint64_t NextPow2(std::uint64_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+}  // namespace
+
+std::uint64_t JoinHashTable::HashKey(std::int64_t key) {
   // Fibonacci-style mix; adequate for integer keys.
   std::uint64_t x = static_cast<std::uint64_t>(key);
   x ^= x >> 33;
@@ -17,12 +23,6 @@ std::uint64_t HashKey(std::int64_t key) {
   return x;
 }
 
-std::uint64_t NextPow2(std::uint64_t n) {
-  return n <= 1 ? 1 : std::bit_ceil(n);
-}
-
-}  // namespace
-
 JoinHashTable::JoinHashTable(std::uint32_t payload_width,
                              std::uint64_t expected_entries)
     : payload_width_(payload_width) {
@@ -32,6 +32,37 @@ JoinHashTable::JoinHashTable(std::uint32_t payload_width,
   slots_.resize(static_cast<std::size_t>(slots));
   payloads_.reserve(static_cast<std::size_t>(expected_entries) *
                     payload_width);
+}
+
+JoinHashTable::JoinHashTable(JoinHashTable&& other) noexcept
+    : payload_width_(other.payload_width_),
+      sealed_(other.sealed_),
+      entries_(other.entries_),
+      slots_(std::move(other.slots_)),
+      payloads_(std::move(other.payloads_)) {
+  // Leave the source a valid empty table: unsealed, with a real (if
+  // minimal) slot array so SlotFor's power-of-two mask stays defined.
+  other.sealed_ = false;
+  other.entries_ = 0;
+  other.slots_.assign(1, Slot{});
+  other.payloads_.clear();
+}
+
+JoinHashTable& JoinHashTable::operator=(JoinHashTable&& other) noexcept {
+  if (this == &other) return *this;
+  // Overwriting a sealed table frees the payload pool its probers still
+  // point into — the caller broke the build-then-probe contract.
+  SMARTSSD_CHECK(!sealed_);
+  payload_width_ = other.payload_width_;
+  sealed_ = other.sealed_;
+  entries_ = other.entries_;
+  slots_ = std::move(other.slots_);
+  payloads_ = std::move(other.payloads_);
+  other.sealed_ = false;
+  other.entries_ = 0;
+  other.slots_.assign(1, Slot{});
+  other.payloads_.clear();
+  return *this;
 }
 
 std::size_t JoinHashTable::SlotFor(std::int64_t key) const {

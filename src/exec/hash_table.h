@@ -30,8 +30,15 @@ class JoinHashTable {
   JoinHashTable(std::uint32_t payload_width,
                 std::uint64_t expected_entries);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(JoinHashTable);
-  JoinHashTable(JoinHashTable&&) = default;
-  JoinHashTable& operator=(JoinHashTable&&) = default;
+  // Moves transfer the payload pool wholesale, so pointers handed out by
+  // Probe() before the move stay valid for the life of the destination;
+  // the seal travels with them. The moved-from table is reset to a valid
+  // empty, unsealed state (a defaulted move used to leave it with an
+  // empty slot array, making a later SlotFor() mask with SIZE_MAX).
+  // Move-assigning OVER a sealed table would free the payload pool its
+  // probers still point into, so that is a checked programming error.
+  JoinHashTable(JoinHashTable&& other) noexcept;
+  JoinHashTable& operator=(JoinHashTable&& other) noexcept;
 
   // Inserts key -> payload. Duplicate keys are rejected (inner sides of
   // the paper's joins are primary keys), as is any insert after the
@@ -55,6 +62,10 @@ class JoinHashTable {
   // before the table exists.
   static std::uint64_t EstimateBytes(std::uint64_t entries,
                                      std::uint32_t payload_width);
+
+  // The key mixer, exposed so the hybrid join can derive partition ids
+  // from bits SlotFor() does not consume (SlotFor masks the low bits).
+  static std::uint64_t HashKey(std::int64_t key);
 
  private:
   struct Slot {

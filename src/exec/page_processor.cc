@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "exec/hybrid_join.h"
 #include "storage/nsm_page.h"
 #include "storage/pax_page.h"
 
@@ -101,10 +102,12 @@ std::int64_t LoadIntLane(const expr::BatchColumn& col, std::uint32_t row) {
 
 PageProcessor::PageProcessor(const BoundQuery* bound,
                              const JoinHashTable* hash_table,
-                             KernelMode mode)
-    : bound_(bound), hash_table_(hash_table) {
+                             KernelMode mode, HybridJoin* hybrid)
+    : bound_(bound), hash_table_(hash_table), hybrid_(hybrid) {
   SMARTSSD_CHECK(bound != nullptr);
-  SMARTSSD_CHECK_EQ(bound->spec->join.has_value(), hash_table != nullptr);
+  SMARTSSD_CHECK_EQ(bound->spec->join.has_value(),
+                    hash_table != nullptr || hybrid != nullptr);
+  SMARTSSD_CHECK(hash_table == nullptr || hybrid == nullptr);
   const QuerySpec& spec = *bound->spec;
   agg_init_ = AggInitStates(spec);
   agg_state_ = agg_init_;
@@ -144,7 +147,8 @@ PageProcessor::PageProcessor(const BoundQuery* bound,
     }
   }
 
-  if (mode == KernelMode::kVectorized && CompileKernels()) {
+  if (mode == KernelMode::kVectorized && hybrid_ == nullptr &&
+      CompileKernels()) {
     mode_ = KernelMode::kVectorized;
   } else {
     pred_compiled_.reset();
@@ -265,13 +269,28 @@ Status PageProcessor::HandleTuple(
   const QuerySpec& spec = *bound_->spec;
   CombinedRowView combined(bound_, &outer_view);
   const std::byte* payload = nullptr;
+  std::uint64_t seq = 0;
 
-  auto probe = [&]() -> bool {
+  // Returns whether the tuple has a join match in hand. A hybrid-join
+  // tuple landing in a spilled partition has neither a match nor a miss
+  // yet: it is deferred (spilled, probed during Finish) and reports
+  // "no match" here so the scan moves on. Probe-first predicates for
+  // deferred tuples are owed at resolve time.
+  auto probe = [&]() -> Result<bool> {
     ++counts->eval.column_reads;  // read the FK
     const std::int64_t key =
         outer_view.GetColumn(spec.join->outer_key_col).AsInt();
-    ++counts->probes;
-    payload = hash_table_->Probe(key);
+    if (hybrid_ != nullptr) {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const HybridJoin::ProbeResult result,
+          hybrid_->Probe(key, outer_col_bytes, counts));
+      if (result.deferred) return false;
+      seq = result.seq;
+      payload = result.payload;
+    } else {
+      ++counts->probes;
+      payload = hash_table_->Probe(key);
+    }
     if (payload == nullptr) return false;
     combined.SetPayload(payload);
     return true;
@@ -282,14 +301,38 @@ Status PageProcessor::HandleTuple(
         !spec.predicate->Evaluate(outer_view, &counts->eval).AsBool()) {
       return Status::OK();
     }
-    if (spec.join.has_value() && !probe()) return Status::OK();
+    if (spec.join.has_value()) {
+      SMARTSSD_ASSIGN_OR_RETURN(const bool matched, probe());
+      if (!matched) return Status::OK();
+    }
   } else {
-    if (!probe()) return Status::OK();
+    SMARTSSD_ASSIGN_OR_RETURN(const bool matched, probe());
+    if (!matched) return Status::OK();
     if (spec.predicate != nullptr &&
         !spec.predicate->Evaluate(combined, &counts->eval).AsBool()) {
       return Status::OK();
     }
   }
+
+  // Order-sensitive output with spilled partitions: stage the match and
+  // replay everything in scan order at Finish, so scan-time matches and
+  // resolved matches interleave exactly as the unconstrained join
+  // emits them.
+  if (hybrid_ != nullptr && hybrid_->ordered()) {
+    hybrid_->BufferMatch(seq, outer_col_bytes, payload);
+    return Status::OK();
+  }
+  return SinkJoinedRow(outer_view, outer_col_bytes, payload, counts, out);
+}
+
+Status PageProcessor::SinkJoinedRow(
+    const expr::RowView& outer_view,
+    const std::function<const std::byte*(int col)>& outer_col_bytes,
+    const std::byte* payload, OpCounts* counts,
+    std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  CombinedRowView combined(bound_, &outer_view);
+  combined.SetPayload(payload);
 
   if (!spec.aggregates.empty()) {
     if (spec.group_by.empty()) {
@@ -570,8 +613,53 @@ Status PageProcessor::SinkBatch(const expr::BatchInput& in,
   return Status::OK();
 }
 
+Status PageProcessor::FinishHybrid(OpCounts* counts,
+                                   std::vector<std::byte>* out) {
+  const QuerySpec& spec = *bound_->spec;
+  const storage::Schema& schema = bound_->outer->schema;
+  // Resolve spilled partitions: each deferred tuple arrives back as a
+  // materialized NSM outer row plus its matched payload.
+  auto deliver = [&](std::uint64_t seq, const std::byte* row,
+                     const std::byte* payload) -> Status {
+    expr::NsmRowView view(&schema, row);
+    auto col_bytes = [&](int col) -> const std::byte* {
+      return row + schema.offset(col);
+    };
+    // Probe-first deferred tuples still owe the predicate (it needs the
+    // payload); filter-first tuples passed it before they spilled.
+    if (spec.order == PipelineOrder::kProbeFirst &&
+        spec.predicate != nullptr) {
+      CombinedRowView combined(bound_, &view);
+      combined.SetPayload(payload);
+      if (!spec.predicate->Evaluate(combined, &counts->eval).AsBool()) {
+        return Status::OK();
+      }
+    }
+    if (hybrid_->ordered()) {
+      hybrid_->BufferMatchRaw(seq, row, payload);
+      return Status::OK();
+    }
+    return SinkJoinedRow(view, col_bytes, payload, counts, out);
+  };
+  SMARTSSD_RETURN_IF_ERROR(hybrid_->Resolve(counts, deliver));
+  if (hybrid_->ordered()) {
+    SMARTSSD_RETURN_IF_ERROR(hybrid_->ReplayOrdered(
+        [&](const std::byte* row, const std::byte* payload) -> Status {
+          expr::NsmRowView view(&schema, row);
+          auto col_bytes = [&](int col) -> const std::byte* {
+            return row + schema.offset(col);
+          };
+          return SinkJoinedRow(view, col_bytes, payload, counts, out);
+        }));
+  }
+  return Status::OK();
+}
+
 Status PageProcessor::Finish(OpCounts* counts, std::vector<std::byte>* out) {
   const QuerySpec& spec = *bound_->spec;
+  if (hybrid_ != nullptr) {
+    SMARTSSD_RETURN_IF_ERROR(FinishHybrid(counts, out));
+  }
   if (!spec.aggregates.empty()) {
     if (spec.group_by.empty()) {
       for (const std::int64_t v : agg_state_) {

@@ -19,6 +19,8 @@
 
 namespace smartssd::exec {
 
+class HybridJoin;
+
 // Executes a bound query pipeline over one page at a time, producing
 // real output rows and the operation counts the cost models charge.
 //
@@ -43,9 +45,14 @@ namespace smartssd::exec {
 class PageProcessor {
  public:
   // `hash_table` must outlive the processor and is required iff the
-  // query has a join.
+  // query has a join — unless `hybrid` is supplied instead, in which
+  // case probes route through the memory-constrained hybrid join (and
+  // the kernel degrades to kScalar: deferral is a per-row decision the
+  // batch probe cannot express). Exactly one of the two may be set for
+  // a join query.
   PageProcessor(const BoundQuery* bound, const JoinHashTable* hash_table,
-                KernelMode mode = KernelMode::kVectorized);
+                KernelMode mode = KernelMode::kVectorized,
+                HybridJoin* hybrid = nullptr);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PageProcessor);
 
   // Processes one outer-table page. Serialized output rows (packed
@@ -84,6 +91,21 @@ class PageProcessor {
   Status UpdateAggregates(const expr::RowView& combined_view,
                           std::int64_t* states, OpCounts* counts);
 
+  // Sinks one surviving row (post-predicate, post-probe) into the
+  // aggregate / group / projection / top-N stage. Shared between the
+  // scan path and the hybrid join's deferred-match replay, so both
+  // charge identical counts.
+  Status SinkJoinedRow(
+      const expr::RowView& outer_view,
+      const std::function<const std::byte*(int col)>& outer_col_bytes,
+      const std::byte* payload, OpCounts* counts,
+      std::vector<std::byte>* out);
+
+  // Resolves the hybrid join's spilled partitions (multi-pass probing)
+  // and, for order-sensitive queries, replays all staged matches in
+  // scan order. Called from Finish() before the final rows are emitted.
+  Status FinishHybrid(OpCounts* counts, std::vector<std::byte>* out);
+
   // --- vectorized kernel ---
   // Compiles predicate + aggregate inputs; false => fall back to scalar.
   bool CompileKernels();
@@ -103,6 +125,7 @@ class PageProcessor {
 
   const BoundQuery* bound_;
   const JoinHashTable* hash_table_;
+  HybridJoin* hybrid_ = nullptr;
   KernelMode mode_ = KernelMode::kScalar;
   std::vector<std::int64_t> agg_init_;   // one init value per aggregate
   std::vector<std::int64_t> agg_state_;  // scalar aggregation

@@ -7,6 +7,7 @@
 
 #include "exec/cost_model.h"
 #include "exec/hash_table.h"
+#include "exec/hybrid_join.h"
 #include "exec/page_processor.h"
 #include "exec/predicate_range.h"
 #include "exec/query_spec.h"
@@ -20,15 +21,30 @@ namespace smartssd::exec {
 // build phase (for joins) reads the inner table through the internal
 // data path, its per-page work is charged to the embedded cores with the
 // embedded cost parameters, and only result tuples leave the device.
+//
+// Joins run in one of two modes. When the estimated hash table fits the
+// join memory budget (or no budget is set), the whole inner table is
+// hashed in device DRAM — the paper's simple hash join. When a budget is
+// set and the estimate exceeds it, the build switches to the hybrid hash
+// join (exec/hybrid_join.h): partitions beyond the budget spill to flash
+// through the device's internal write path and are probed in extra
+// passes during Finish, trading spill I/O for a bounded DRAM grant.
 class PushdownProgram final : public smart::InSsdProgram {
  public:
   // `zone_map` (optional) is the device-resident copy of the outer
   // table's per-page statistics: the program prunes its input extents
   // with it, so non-matching pages are never even read from flash —
   // in-SSD indexing.
+  //
+  // `spill.budget_bytes` > 0 caps the resident build side of a join;
+  // 0 keeps the unconstrained build. `spill_page_size_hint` sizes the
+  // pre-OPEN DRAM estimate for the spill buffers (the join itself uses
+  // the device's real page size).
   explicit PushdownProgram(const BoundQuery* bound,
                            const storage::ZoneMap* zone_map = nullptr,
-                           KernelMode kernel = KernelMode::kVectorized);
+                           KernelMode kernel = KernelMode::kVectorized,
+                           const HybridJoinConfig& spill = {},
+                           std::uint32_t spill_page_size_hint = 8192);
 
   std::string_view name() const override;
 
@@ -51,21 +67,43 @@ class PushdownProgram final : public smart::InSsdProgram {
   }
   std::uint64_t pages_skipped() const { return pages_skipped_; }
 
+  // True when this program's join runs (or would run) the hybrid
+  // spill path under the configured budget.
+  bool hybrid_join_engaged() const;
+  // Spill statistics; all-zero when the join stayed unconstrained.
+  HybridJoinStats hybrid_stats() const {
+    return hybrid_ != nullptr ? hybrid_->stats() : HybridJoinStats{};
+  }
+  // High-water mark of the program's actual DRAM use, to check against
+  // the DramBytesRequired() grant (the session-leak audit's other half:
+  // a grant that under-states real use defeats the accounting).
+  std::uint64_t dram_peak_bytes() const { return dram_peak_; }
+
  private:
   std::uint64_t HashEntries() const {
+    if (hybrid_ != nullptr) return hybrid_->resident_entries();
     return hash_table_.has_value() ? hash_table_->entries() : 0;
   }
+  std::uint64_t OutputRowWidth() const;
+  std::uint64_t SpillOverheadCycles() {
+    return hybrid_ != nullptr ? hybrid_->TakeOverheadCycles() : 0;
+  }
+  void NotePeak();
 
   const BoundQuery* bound_;
   CpuCostParams outer_params_;
   const storage::ZoneMap* zone_map_;
   KernelMode kernel_;
+  HybridJoinConfig spill_;
+  std::uint32_t spill_page_size_hint_;
   std::map<int, ColumnRange> prune_ranges_;  // outer columns only
   mutable std::uint64_t pages_skipped_ = 0;
   std::optional<JoinHashTable> hash_table_;
+  std::unique_ptr<HybridJoin> hybrid_;
   std::unique_ptr<PageProcessor> processor_;
   OpCounts counts_;
   std::vector<std::byte> scratch_;
+  std::uint64_t dram_peak_ = 0;
 };
 
 }  // namespace smartssd::exec

@@ -54,6 +54,42 @@ class DeviceServices {
   // Reserves device DRAM for session state (hash tables, buffers).
   // Fails with RESOURCE_EXHAUSTED if it does not fit.
   virtual Status AllocateDram(std::uint64_t bytes) = 0;
+
+  // --- Spill support (hybrid hash join) ------------------------------
+  // A session that cannot hold its build side in the DRAM grant may
+  // spill partitions to flash through the real FTL write path. Spill
+  // extents live above the catalog's allocated pages, are charged on
+  // the virtual timeline (DMA + flash program, visible to GC), and are
+  // trimmed back when the session ends. The default implementations
+  // refuse, so only runtimes that wire them up admit spilling.
+
+  // Reserves `pages` contiguous logical pages for spill; returns the
+  // first LPN.
+  virtual Result<std::uint64_t> AllocateSpillExtent(std::uint64_t pages) {
+    (void)pages;
+    return UnimplementedError("device does not support spill extents");
+  }
+
+  // Writes one page to a spill LPN (DMA + out-of-place FTL program).
+  // Returns the write's completion time.
+  virtual Result<SimTime> WriteSpillPage(std::uint64_t lpn,
+                                         std::span<const std::byte> data) {
+    (void)lpn;
+    (void)data;
+    return UnimplementedError("device does not support spill writes");
+  }
+
+  // Reads a spill page back into DRAM (flash + DMA); the bytes are then
+  // visible through ViewPage. Returns the availability time.
+  virtual Result<SimTime> ReadSpillPage(std::uint64_t lpn) {
+    (void)lpn;
+    return UnimplementedError("device does not support spill reads");
+  }
+
+  // Advances the service's notion of "now"; spill I/O issued from page
+  // callbacks (which have no explicit time parameter) is ordered after
+  // the latest of this and the previous spill operation.
+  virtual void NoteTime(SimTime now) { (void)now; }
 };
 
 // A user-defined program pushed into the Smart SSD. Lifecycle, driven by

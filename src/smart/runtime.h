@@ -31,6 +31,10 @@ struct SessionStats {
   // Stalled GETs the host re-issued (each consumed one unit of the
   // session retry budget and recovered).
   std::uint32_t get_retries = 0;
+  // Hybrid-join spill traffic on the internal path (pages of build and
+  // probe partitions written to / read back from flash).
+  std::uint64_t spill_pages_written = 0;
+  std::uint64_t spill_pages_read = 0;
 
   SimDuration elapsed() const { return close_done - open_issued; }
 };

@@ -65,6 +65,7 @@ Result<SimTime> SessionTask::StepOpen() {
   begin_noted_ = true;
   runtime_->NoteSessionBegin();
   services_.emplace(device_);
+  services_->NoteTime(t);
   const std::uint64_t dram_needed = program_->DramBytesRequired();
   if (dram_needed > 0) {
     const Status dram = services_->AllocateDram(dram_needed);
@@ -72,7 +73,9 @@ Result<SimTime> SessionTask::StepOpen() {
   }
   Result<SimTime> opened = program_->Open(*services_, t);
   if (!opened.ok()) return Fail(opened.status());
-  open_done_ = std::max(opened.value(), t);
+  // Spill writes issued while evicting build partitions complete before
+  // the OPEN acknowledges.
+  open_done_ = std::max({opened.value(), t, services_->spill_done()});
   stats_.open_done = open_done_;
   fail_time_ = open_done_;
   if (runtime_->tracer_ != nullptr) {
@@ -106,11 +109,15 @@ Result<SimTime> SessionTask::StepProcess() {
   Result<SimTime> read = device_->InternalReadPageTiming(lpn, open_done_);
   if (!read.ok()) return Fail(read.status());
   sink_.Clear();
+  services_->NoteTime(read.value());
   Result<ProgramCharge> charge =
       program_->ProcessPage(device_->ViewPage(lpn), sink_);
   if (!charge.ok()) return Fail(charge.status());
-  const SimTime done =
-      device_->ExecuteOnDevice(charge.value().cycles, read.value());
+  // Probe-side spill writes issued during the callback belong to this
+  // page's work; the page retires once both CPU and spill I/O are done.
+  const SimTime done = std::max(
+      device_->ExecuteOnDevice(charge.value().cycles, read.value()),
+      services_->spill_done());
   if (faults.OnEvent(sim::FaultKind::kDeviceReset, done)) {
     fail_time_ = done + kDeviceResetRecovery;
     return Fail(AbortedError("device reset mid-session (injected fault)"));
@@ -142,12 +149,18 @@ Result<SimTime> SessionTask::StepProcess() {
 
 Result<SimTime> SessionTask::StepFinishProgram() {
   sink_.Clear();
+  services_->NoteTime(processing_done_);
   Result<ProgramCharge> final_charge = program_->Finish(sink_);
   if (!final_charge.ok()) return Fail(final_charge.status());
-  processing_done_ =
+  // Multi-pass probing reads spilled partitions back during Finish; the
+  // program is done when both the CPU work and that I/O retire.
+  processing_done_ = std::max(
       device_->ExecuteOnDevice(final_charge.value().cycles,
-                               processing_done_);
+                               processing_done_),
+      services_->spill_done());
   stats_.embedded_cycles += final_charge.value().cycles;
+  stats_.spill_pages_written = services_->spill_pages_written();
+  stats_.spill_pages_read = services_->spill_pages_read();
   queue_.Append(sink_.bytes(), processing_done_);
   queue_.Flush(processing_done_);
   stats_.processing_done = processing_done_;

@@ -1,9 +1,11 @@
 #ifndef SMARTSSD_SMART_SESSION_TASK_H_
 #define SMARTSSD_SMART_SESSION_TASK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -79,6 +81,11 @@ class SessionTask {
    public:
     explicit SessionServices(ssd::SsdDevice* device) : device_(device) {}
     ~SessionServices() override {
+      // Release in the reverse of acquisition: spill extents first
+      // (trimming their flash pages), then the DRAM grant.
+      for (const auto& [lpn, pages] : spill_extents_) {
+        device_->ReleaseSpillExtent(lpn, pages);
+      }
       if (allocated_ > 0) device_->ReleaseDeviceDram(allocated_);
     }
 
@@ -101,9 +108,52 @@ class SessionTask {
       return Status::OK();
     }
 
+    Result<std::uint64_t> AllocateSpillExtent(
+        std::uint64_t pages) override {
+      SMARTSSD_ASSIGN_OR_RETURN(const std::uint64_t lpn,
+                                device_->AllocateSpillExtent(pages));
+      spill_extents_.emplace_back(lpn, pages);
+      return lpn;
+    }
+    Result<SimTime> WriteSpillPage(
+        std::uint64_t lpn, std::span<const std::byte> data) override {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const SimTime done,
+          device_->InternalWritePage(lpn, data,
+                                     std::max(now_, spill_done_)));
+      spill_done_ = done;
+      ++spill_pages_written_;
+      return done;
+    }
+    Result<SimTime> ReadSpillPage(std::uint64_t lpn) override {
+      SMARTSSD_ASSIGN_OR_RETURN(
+          const SimTime done,
+          device_->InternalReadPageTiming(lpn,
+                                          std::max(now_, spill_done_)));
+      spill_done_ = done;
+      ++spill_pages_read_;
+      return done;
+    }
+    void NoteTime(SimTime now) override {
+      now_ = std::max(now_, now);
+    }
+
+    // Latest spill-I/O completion, so the session's close can wait for
+    // in-flight spill traffic.
+    SimTime spill_done() const { return spill_done_; }
+    std::uint64_t spill_pages_written() const {
+      return spill_pages_written_;
+    }
+    std::uint64_t spill_pages_read() const { return spill_pages_read_; }
+
    private:
     ssd::SsdDevice* device_;
     std::uint64_t allocated_ = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> spill_extents_;
+    SimTime now_ = 0;
+    SimTime spill_done_ = 0;
+    std::uint64_t spill_pages_written_ = 0;
+    std::uint64_t spill_pages_read_ = 0;
   };
 
   // Collects the bytes a program emits during one callback; the task

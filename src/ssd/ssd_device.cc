@@ -26,6 +26,53 @@ Result<SimTime> SsdDevice::InternalReadPageTiming(std::uint64_t lpn,
   return dma_->Serve(at_controller, dma_page_time_, "page dma");
 }
 
+Result<SimTime> SsdDevice::InternalWritePage(
+    std::uint64_t lpn, std::span<const std::byte> data, SimTime ready) {
+  // The mirror of an internal read: the page crosses the shared DRAM
+  // bus into the channel controller, then the FTL programs it
+  // out-of-place (triggering GC like any other write). No host link.
+  const SimTime at_controller =
+      dma_->Serve(ready, dma_page_time_, "spill dma");
+  return ftl_->Write(lpn, data, at_controller);
+}
+
+Result<std::uint64_t> SsdDevice::AllocateSpillExtent(std::uint64_t pages) {
+  if (pages == 0) {
+    return InvalidArgumentError("spill extent: zero pages");
+  }
+  if (spill_next_ == 0) spill_next_ = ftl_->logical_pages();
+  // Exact-fit reuse first, so a rerun of the same query walks the same
+  // LPN sequence.
+  for (auto it = spill_free_.begin(); it != spill_free_.end(); ++it) {
+    if (it->second == pages) {
+      const std::uint64_t lpn = it->first;
+      spill_free_.erase(it);
+      spill_pages_held_ += pages;
+      return lpn;
+    }
+  }
+  if (spill_next_ < spill_floor_ + pages) {
+    return ResourceExhaustedError(
+        "spill extent: flash exhausted above the catalog floor");
+  }
+  spill_next_ -= pages;
+  spill_pages_held_ += pages;
+  return spill_next_;
+}
+
+void SsdDevice::ReleaseSpillExtent(std::uint64_t first_lpn,
+                                   std::uint64_t pages) {
+  SMARTSSD_CHECK_LE(pages, spill_pages_held_);
+  spill_pages_held_ -= pages;
+  // TRIM the pages so GC reclaims the flash they occupied.
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    if (ftl_->IsMapped(first_lpn + i)) {
+      (void)ftl_->Trim(first_lpn + i);
+    }
+  }
+  spill_free_.emplace_back(first_lpn, pages);
+}
+
 Result<SimTime> SsdDevice::InternalReadPage(std::uint64_t lpn,
                                             std::span<std::byte> out,
                                             SimTime ready) {

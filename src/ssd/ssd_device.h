@@ -5,6 +5,8 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
@@ -64,6 +66,31 @@ class SsdDevice : public BlockDevice {
 
   // Timing-only internal read; pair with ViewPage().
   Result<SimTime> InternalReadPageTiming(std::uint64_t lpn, SimTime ready);
+
+  // Writes a page from device DRAM to flash: DMA + out-of-place FTL
+  // program (GC and all), no host link. The spill path of the hybrid
+  // hash join writes partitions through this.
+  Result<SimTime> InternalWritePage(std::uint64_t lpn,
+                                    std::span<const std::byte> data,
+                                    SimTime ready);
+
+  // --- Spill extent allocator ---------------------------------------
+  // Sessions spilling join partitions borrow logical pages from the top
+  // of the LPN space, growing downward, while the catalog's bump
+  // allocator grows upward from 0. set_spill_floor() tells the device
+  // where the catalog's allocations end; an allocation that would cross
+  // the floor is refused. Released extents are trimmed (invalidating
+  // their flash pages for GC) and kept on an exact-fit free list so a
+  // rerun of the same query reuses the same LPNs — determinism for the
+  // differential harness.
+  void set_spill_floor(std::uint64_t first_reserved_lpn) {
+    spill_floor_ = first_reserved_lpn;
+  }
+  Result<std::uint64_t> AllocateSpillExtent(std::uint64_t pages);
+  void ReleaseSpillExtent(std::uint64_t first_lpn, std::uint64_t pages);
+  // Logical pages currently held by live spill extents; zero when the
+  // device is idle (leak check, mirrors the DRAM grant invariant).
+  std::uint64_t spill_pages_held() const { return spill_pages_held_; }
 
   // Zero-copy view of a mapped page's bytes (content as of now; the
   // timing of visibility comes from InternalReadPageTiming).
@@ -157,6 +184,12 @@ class SsdDevice : public BlockDevice {
   SimDuration dma_page_time_ = 0;
   std::uint64_t dram_used_ = 0;
   int session_threads_used_ = 0;
+
+  // Spill extent allocator state (see set_spill_floor).
+  std::uint64_t spill_floor_ = 0;
+  std::uint64_t spill_next_ = 0;  // lowest LPN handed out so far
+  std::uint64_t spill_pages_held_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spill_free_;
 };
 
 }  // namespace smartssd::ssd

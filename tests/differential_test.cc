@@ -1,7 +1,9 @@
 // Differential correctness fuzz: seeded random query specs run through
 // every execution configuration — host scan, Smart SSD pushdown over
 // NSM and PAX (with and without zone maps), parallel databases with
-// 1/2/4 workers, fault-injected pushdown with degraded fallback, and
+// 1/2/4 workers, fault-injected pushdown with degraded fallback,
+// memory-constrained hybrid joins under 2-pass and 3-pass spill budgets
+// (results AND OpCounts against the unconstrained reference), and
 // fleet scatter-gather (uniform 3-device and heterogeneous 2-device
 // shapes, with rotating single-device faults and a breaker-open
 // re-dispatch variant) — asserting byte-identical results plus
@@ -85,9 +87,10 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   options.specs_per_seed = 2;
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
-  // ref (scalar + vectorized twin) + 4 single configs + 3 parallel
-  // configs + 2 fleet configs + 4 write-path GC configs per spec.
-  EXPECT_EQ(report.executions, 2 * 15);
+  // ref (scalar + vectorized twin) + 6 single configs (incl. the two
+  // hybrid-join spill budgets) + 3 parallel configs + 2 fleet configs
+  // + 4 write-path GC configs per spec.
+  EXPECT_EQ(report.executions, 2 * 17);
 }
 
 TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
@@ -97,7 +100,7 @@ TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
   options.specs_per_seed = 2;
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
-  EXPECT_EQ(report.executions, 2 * 11);
+  EXPECT_EQ(report.executions, 2 * 13);
 }
 
 }  // namespace

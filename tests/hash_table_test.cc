@@ -148,6 +148,35 @@ TEST(JoinHashTableTest, PayloadPointersStableOnceSealed) {
   }
 }
 
+TEST(JoinHashTableTest, MovedFromTableIsEmptyAndReusable) {
+  // Regression: the defaulted move operations left the moved-from table
+  // with an empty slot vector, so its next Probe() hashed modulo zero.
+  // The custom moves must reset the source to a valid empty table.
+  JoinHashTable a(8, 16);
+  ASSERT_TRUE(a.Insert(1, Payload(100)).ok());
+  ASSERT_TRUE(a.Insert(2, Payload(200)).ok());
+
+  JoinHashTable b(std::move(a));
+  std::int64_t v;
+  std::memcpy(&v, b.Probe(1), 8);
+  EXPECT_EQ(v, 100);
+  std::memcpy(&v, b.Probe(2), 8);
+  EXPECT_EQ(v, 200);
+
+  // The source is empty but fully operational: probes miss (no crash),
+  // and it accepts fresh inserts.
+  EXPECT_EQ(a.entries(), 0u);
+  EXPECT_EQ(a.Probe(1), nullptr);
+  JoinHashTable c(8, 16);
+  ASSERT_TRUE(c.Insert(7, Payload(700)).ok());
+  JoinHashTable d(8, 16);
+  d = std::move(c);
+  std::memcpy(&v, d.Probe(7), 8);
+  EXPECT_EQ(v, 700);
+  EXPECT_EQ(c.entries(), 0u);
+  EXPECT_EQ(c.Probe(7), nullptr);
+}
+
 TEST(JoinHashTableTest, MemoryEstimateCoversActualUsage) {
   const std::uint64_t entries = 5000;
   const std::uint64_t estimate = JoinHashTable::EstimateBytes(entries, 8);

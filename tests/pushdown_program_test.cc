@@ -79,6 +79,82 @@ TEST_F(PushdownProgramTest, JoinProgramReservesHashTableDram) {
   EXPECT_GE(session->processing_done, session->open_done);
 }
 
+TEST_F(PushdownProgramTest, HybridJoinUnderTinyBudgetMatchesUnconstrained) {
+  const auto spec = tpch::JoinQuerySpec("S", "R", 0.5);
+  auto bound = Bind(spec, db_.catalog());
+  ASSERT_TRUE(bound.ok());
+
+  // Ground truth: the unconstrained build.
+  PushdownProgram whole(&*bound);
+  ASSERT_FALSE(whole.hybrid_join_engaged());
+  std::vector<std::byte> whole_out;
+  auto whole_session = db_.runtime()->RunSession(
+      whole, smart::PollingPolicy{}, 0, &whole_out);
+  ASSERT_TRUE(whole_session.ok());
+  db_.ResetForColdRun();
+
+  // A budget far below the ~2.4 KiB estimated table forces partitions
+  // to spill to flash and resolve in extra passes.
+  HybridJoinConfig spill;
+  spill.budget_bytes = 1024;
+  PushdownProgram program(&*bound, nullptr, KernelMode::kVectorized,
+                          spill, db_.device().page_size());
+  ASSERT_TRUE(program.hybrid_join_engaged());
+  std::vector<std::byte> out;
+  auto session = db_.runtime()->RunSession(program, smart::PollingPolicy{},
+                                           0, &out);
+  ASSERT_TRUE(session.ok());
+
+  const HybridJoinStats stats = program.hybrid_stats();
+  EXPECT_GT(stats.partitions_spilled, 0u);
+  EXPECT_GT(stats.build_rows_spilled, 0u);
+  EXPECT_GT(stats.spill_pages_written, 0u);
+  // Every spilled page is read back at least once during resolution
+  // (hot-key promotion re-scans build files on top of that).
+  EXPECT_GE(stats.spill_pages_read, stats.spill_pages_written);
+  EXPECT_GE(stats.passes, 2u);
+  // Spilling is invisible to semantics: identical result bytes and
+  // identical end-of-query operation totals.
+  EXPECT_EQ(out, whole_out);
+  EXPECT_EQ(program.counts().tuples, whole.counts().tuples);
+  EXPECT_EQ(program.counts().probes, whole.counts().probes);
+  EXPECT_EQ(program.counts().hash_inserts, whole.counts().hash_inserts);
+  EXPECT_EQ(program.counts().eval.column_reads,
+            whole.counts().eval.column_reads);
+  EXPECT_EQ(program.counts().output_bytes, whole.counts().output_bytes);
+  // The session released its flash extents and stayed within the DRAM
+  // grant it declared.
+  EXPECT_EQ(db_.ssd()->spill_pages_held(), 0u);
+  EXPECT_LE(program.dram_peak_bytes(), program.DramBytesRequired());
+  // The session-level spill counters surfaced the same page traffic.
+  EXPECT_EQ(session->spill_pages_written, stats.spill_pages_written);
+  EXPECT_EQ(session->spill_pages_read, stats.spill_pages_read);
+}
+
+TEST_F(PushdownProgramTest, DramEstimateCapsHybridResidency) {
+  const auto spec = tpch::JoinQuerySpec("S", "R", 0.5);
+  auto bound = Bind(spec, db_.catalog());
+  ASSERT_TRUE(bound.ok());
+  // Unconstrained grant grows with the inner table; the hybrid grant is
+  // pinned near the budget instead.
+  PushdownProgram whole(&*bound);
+  HybridJoinConfig spill;
+  spill.budget_bytes = 1024;
+  PushdownProgram hybrid(&*bound, nullptr, KernelMode::kVectorized, spill,
+                         db_.device().page_size());
+  // Same spec, two modes: the hybrid grant swaps the full table term
+  // for budget + spill buffers + ordered staging. Both must at least
+  // cover the streaming floor.
+  EXPECT_GE(whole.DramBytesRequired(), 2u * 1024 * 1024);
+  EXPECT_GE(hybrid.DramBytesRequired(), 2u * 1024 * 1024);
+  // And an enormous budget disengages the hybrid path entirely.
+  HybridJoinConfig roomy;
+  roomy.budget_bytes = 1ull << 30;
+  PushdownProgram relaxed(&*bound, nullptr, KernelMode::kVectorized,
+                          roomy, db_.device().page_size());
+  EXPECT_FALSE(relaxed.hybrid_join_engaged());
+}
+
 TEST_F(PushdownProgramTest, ZoneMapPruningShrinksExtents) {
   ASSERT_TRUE(db_.BuildZoneMap("S").ok());
   db_.ResetForColdRun();

@@ -270,6 +270,75 @@ TEST(WorkloadGrantParkingTest, SingleGrantSerializesSessionsNoFallback) {
   EXPECT_FALSE(db.runtime()->session_leak_detected());
 }
 
+// Regression: tasks parked for a session grant while the device breaker
+// opens must redispatch to the host instead of serializing onto a
+// failing device. One firmware thread and four queries: "a" takes the
+// grant and dies to an injected reset (threshold 1 opens the breaker
+// for a very long cooldown, "a" falls back). The freed slot goes to the
+// longest-parked task "b"; "c" and "d" then wake to an open breaker
+// with no free grant and must fall back from the park — byte-identical
+// results, zero device attempts charged (they never touched the
+// device). Before the fix they stayed parked until "b" finished and
+// then queued onto the device one by one.
+TEST(WorkloadGrantParkingTest, BreakerOpenRedispatchesParkedTasksToHost) {
+  engine::DatabaseOptions options = engine::DatabaseOptions::PaperSmartSsd();
+  options.ssd.embedded_cpu.session_threads = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.cooldown = 3'600'000 * kMillisecond;  // outlives the run
+  engine::Database db(options);
+  Load(db);
+
+  engine::QueryExecutor executor(&db);
+  auto host_ref =
+      executor.Execute(tpch::Q6Spec("lineitem_a"), ExecutionTarget::kHost, 0);
+  ASSERT_TRUE(host_ref.ok());
+  db.ResetForColdRun();
+
+  db.ssd()->fault_injector().Load([] {
+    sim::FaultSchedule schedule;
+    schedule.faults.push_back(
+        sim::FaultSpec{sim::FaultKind::kDeviceReset,
+                       {sim::TriggerUnit::kPagesRead, 40},
+                       1});
+    return schedule;
+  }());
+  WorkloadScheduler sched(&db);
+  sched.Submit(Q6On("lineitem_a", ExecutionTarget::kSmartSsd, "a"), 0);
+  sched.Submit(Q6On("lineitem_a", ExecutionTarget::kSmartSsd, "b"), 0);
+  sched.Submit(Q6On("lineitem_a", ExecutionTarget::kSmartSsd, "c"), 0);
+  sched.Submit(Q6On("lineitem_a", ExecutionTarget::kSmartSsd, "d"), 0);
+  auto records = sched.Run();
+  db.ssd()->fault_injector().Clear();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+
+  for (const CompletedQuery& r : *records) {
+    SCOPED_TRACE(r.client);
+    ASSERT_TRUE(r.result.ok()) << r.result.status().ToString();
+    EXPECT_EQ(r.result.value().rows, host_ref->rows);
+    EXPECT_EQ(r.result.value().agg_values, host_ref->agg_values);
+    const engine::QueryStats& stats = r.result.value().stats;
+    if (r.client == "a") {
+      // The faulted session: a real device attempt, then fallback.
+      EXPECT_TRUE(stats.fell_back);
+      EXPECT_EQ(stats.device_attempts, 1u);
+    } else if (r.client == "b") {
+      // Woken into the freed grant; the spent fault lets it finish on
+      // the device (its success closes the breaker again).
+      EXPECT_FALSE(stats.fell_back);
+      EXPECT_EQ(stats.target, ExecutionTarget::kSmartSsd);
+    } else {
+      // Parked with no grant and an open breaker: host redispatch that
+      // never touched the device.
+      EXPECT_TRUE(stats.fell_back);
+      EXPECT_EQ(stats.device_attempts, 0u);
+      EXPECT_EQ(stats.target, ExecutionTarget::kHost);
+    }
+  }
+  EXPECT_EQ(db.runtime()->sessions_run(), 2u);  // only "a" and "b"
+  EXPECT_FALSE(db.runtime()->session_leak_detected());
+}
+
 // max_in_flight=1 turns the scheduler into an admission queue: the
 // second query's wait shows up as queue_wait, and it starts only after
 // the first delivers.
