@@ -101,15 +101,20 @@ inline std::string JsonEscape(std::string_view s) {
 // simulator's own kernels rather than virtual device time. Runs `fn`
 // once to warm caches, then `repeats` more times and keeps the fastest
 // run — the usual way to strip scheduler noise from a throughput
-// number.
+// number. Fewer than 5 timed runs leaves too much scheduler noise in a
+// min-of-N number to trust a ratio between two configs, so `repeats`
+// is clamped up to 5.
 struct WallMeasurement {
   double seconds = 0;        // best single run
   double rows_per_sec = 0;   // rows / seconds
 };
 
+inline constexpr int kMinWallRepeats = 5;
+
 template <typename Fn>
 WallMeasurement MeasureWall(std::uint64_t rows, int repeats, Fn&& fn) {
   using Clock = std::chrono::steady_clock;
+  if (repeats < kMinWallRepeats) repeats = kMinWallRepeats;
   fn();  // warmup
   double best = 0;
   for (int r = 0; r < repeats; ++r) {
@@ -148,6 +153,15 @@ class JsonReporter {
   }
 
   bool enabled() const { return !path_.empty(); }
+
+  // Build/run provenance (compiler, build type, kernel ISA, thread
+  // count, ...). Serialized as a distinguished first array element
+  // {"bench": ..., "metadata": {...}} so perf-trajectory tooling can
+  // tell which toolchain and CPU features produced the numbers without
+  // changing the per-row schema.
+  void SetMetadata(std::vector<std::pair<std::string, std::string>> meta) {
+    metadata_ = std::move(meta);
+  }
 
   void Add(std::string_view config, double virtual_seconds,
            double paper_ratio, double measured_ratio) {
@@ -188,6 +202,16 @@ class JsonReporter {
       std::exit(1);
     }
     std::fprintf(f, "[\n");
+    if (!metadata_.empty()) {
+      std::fprintf(f, "{\"bench\":\"%s\",\"metadata\":{",
+                   JsonEscape(bench_id_).c_str());
+      for (std::size_t m = 0; m < metadata_.size(); ++m) {
+        std::fprintf(f, "%s\"%s\":\"%s\"", m > 0 ? "," : "",
+                     JsonEscape(metadata_[m].first).c_str(),
+                     JsonEscape(metadata_[m].second).c_str());
+      }
+      std::fprintf(f, "}}%s\n", rows_.empty() ? "" : ",");
+    }
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& row = rows_[i];
       std::fprintf(f,
@@ -237,6 +261,7 @@ class JsonReporter {
 
   std::string bench_id_;
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
   std::vector<Row> rows_;
 };
 

@@ -1,33 +1,58 @@
-// Wall-clock harness for the execution kernel rewrite: runs the same
+// Wall-clock harness for the execution kernel: runs the same
 // scan/aggregate pipeline through the scalar (interpreted,
-// tuple-at-a-time) and vectorized (batch, selection-vector) kernels
-// over identical in-memory pages, and reports steady-clock rows/sec for
-// each. Unlike the fig*/table* benches this measures the *simulator's
-// own* CPU efficiency — virtual-time numbers are identical across
-// kernels by construction (the differential harness proves it), so the
-// only thing at stake here is how fast the host machine grinds pages.
+// tuple-at-a-time) kernel and several build-ups of the vectorized
+// (batch, selection-vector) kernel over identical in-memory pages, and
+// reports steady-clock rows/sec for each. Unlike the fig*/table*
+// benches this measures the *simulator's own* CPU efficiency —
+// virtual-time numbers are identical across all of these by
+// construction (the differential harness proves it), so the only thing
+// at stake here is how fast the host machine grinds pages.
 //
-//   wall_kernels [--json=BENCH_wall.json]
+//   wall_kernels [--json=BENCH_wall.json] [--threads=2,4]
+//
+// Measured configurations per workload:
+//   scalar            interpreted reference kernel
+//   vectorized        batch kernel, SIMD lanes forced off (the PR4
+//                     baseline every speedup is quoted against)
+//   vectorized+simd   batch kernel on this CPU's best ISA
+//   vectorized+simd+zm  ... plus zone-map batch skipping (headline;
+//                     measured_ratio = speedup over `vectorized`)
+//   morsel tN         headline kernel under the morsel-parallel
+//                     scanner at N worker threads (PAX 1%/10% only)
+// Every run's aggregates AND OpCounts are checked identical to the
+// scalar kernel — a fast wrong answer is not a speedup, and a kernel
+// that charges different counts would corrupt virtual time.
+//
+// col1 (the predicate column) is generated as a row-proportional ramp —
+// the clustered shape of a date-ordered fact table (think l_shipdate),
+// which is what makes per-page min/max statistics selective. The other
+// columns stay uniform random. All kernels read the identical pages.
 //
 // Sweeps selectivity at fixed width, and tuple width at fixed
 // selectivity, over both page layouts. Each JSON row carries
-// rows_per_sec; the vectorized rows carry measured_ratio = speedup over
-// the scalar kernel on the same configuration.
+// rows_per_sec; a metadata header row records the toolchain, build
+// type, and kernel ISA that produced the numbers.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "exec/morsel.h"
 #include "exec/page_processor.h"
 #include "exec/query_spec.h"
+#include "expr/kernel_isa.h"
 #include "storage/catalog.h"
 #include "storage/nsm_page.h"
 #include "storage/pax_page.h"
 #include "storage/tuple.h"
+#include "storage/zone_map.h"
 #include "tpch/synthetic.h"
 
 using namespace smartssd;
@@ -39,8 +64,12 @@ using storage::PageLayout;
 
 constexpr std::uint32_t kPageSize = 8192;
 constexpr int kRows = 400000;
-constexpr int kRepeats = 3;
+constexpr int kRepeats = 5;
 constexpr std::int32_t kValueRange = 1 << 30;
+
+#ifndef SMARTSSD_BUILD_TYPE
+#define SMARTSSD_BUILD_TYPE "unknown"
+#endif
 
 // An in-memory table: page images plus the catalog entry describing
 // them. No device underneath — the pages are fed to the processor
@@ -48,6 +77,7 @@ constexpr std::int32_t kValueRange = 1 << 30;
 struct MemTable {
   storage::TableInfo info;
   std::vector<std::vector<std::byte>> pages;
+  std::optional<storage::ZoneMap> zone_map;
 };
 
 MemTable BuildTable(int columns, PageLayout layout, int rows) {
@@ -69,7 +99,17 @@ MemTable BuildTable(int columns, PageLayout layout, int rows) {
   for (int row = 0; row < rows; ++row) {
     storage::TupleWriter w(&schema, tuple);
     for (int c = 0; c < columns; ++c) {
-      w.SetInt32(c, static_cast<std::int32_t>(rng.Uniform(kValueRange)));
+      if (c == 1) {
+        // Clustered predicate column: a row-proportional ramp over the
+        // same value range the uniform columns draw from, so a
+        // selectivity-s predicate still passes ~s of the rows but the
+        // matches concentrate in the first ~s of the pages.
+        w.SetInt32(c, static_cast<std::int32_t>(
+                          (static_cast<std::int64_t>(row) * kValueRange) /
+                          rows));
+      } else {
+        w.SetInt32(c, static_cast<std::int32_t>(rng.Uniform(kValueRange)));
+      }
     }
     const bool ok = layout == PageLayout::kNsm ? nsm.Append(tuple)
                                                : pax.Append(tuple);
@@ -91,6 +131,14 @@ MemTable BuildTable(int columns, PageLayout layout, int rows) {
       .page_count = table.pages.size(),
       .tuple_count = static_cast<std::uint64_t>(rows),
       .tuples_per_page = 0};
+  table.zone_map = bench::Unwrap(
+      storage::ZoneMap::Build(
+          table.info,
+          [&](std::uint64_t page_index)
+              -> Result<std::span<const std::byte>> {
+            return std::span<const std::byte>(table.pages[page_index]);
+          }),
+      "ZoneMap::Build");
   return table;
 }
 
@@ -115,24 +163,52 @@ struct KernelRun {
   exec::OpCounts counts;
 };
 
+struct RunOptions {
+  exec::KernelMode mode = exec::KernelMode::kVectorized;
+  expr::KernelIsa isa = expr::KernelIsa::kScalarIsa;
+  bool use_zone_map = false;
+  int morsel_threads = 0;  // 0 = serial page loop
+};
+
 KernelRun RunKernel(const exec::BoundQuery& bound, const MemTable& table,
-                    exec::KernelMode mode) {
+                    const RunOptions& options) {
+  const expr::ScopedKernelIsa scoped_isa(options.isa);
+  const storage::ZoneMap* map =
+      options.use_zone_map ? &*table.zone_map : nullptr;
   KernelRun run;
   auto pass = [&]() {
-    exec::PageProcessor processor(&bound, nullptr, mode);
-    if (mode == exec::KernelMode::kVectorized) {
-      // A silent fallback would time the scalar kernel twice and report
-      // a bogus 1.0x — refuse to measure it.
-      SMARTSSD_CHECK(processor.kernel_mode() == exec::KernelMode::kVectorized);
-    }
     std::vector<std::byte> out;
     exec::OpCounts counts;
-    for (const auto& page : table.pages) {
-      bench::Check(processor.ProcessPage(page, &counts, &out),
-                   "ProcessPage");
+    if (options.morsel_threads > 0) {
+      exec::MorselScanner scanner(&bound, nullptr,
+                                  exec::KernelMode::kVectorized, map,
+                                  options.morsel_threads);
+      for (std::size_t p = 0; p < table.pages.size(); ++p) {
+        scanner.AddPage(p, table.pages[p]);
+      }
+      bench::Check(scanner.Drain(), "MorselScanner::Drain");
+      for (std::size_t i = 0; i < scanner.pages_submitted(); ++i) {
+        counts += scanner.page_counts(i);
+      }
+      scanner.AppendRows(&out);
+      bench::Check(scanner.merged().Finish(&counts, &out), "Finish");
+      run.aggs = scanner.merged().agg_state();
+    } else {
+      exec::PageProcessor processor(&bound, nullptr, options.mode);
+      if (options.mode == exec::KernelMode::kVectorized) {
+        // A silent fallback would time the scalar kernel twice and
+        // report a bogus 1.0x — refuse to measure it.
+        SMARTSSD_CHECK(processor.kernel_mode() ==
+                       exec::KernelMode::kVectorized);
+      }
+      processor.SetZoneMap(map);
+      for (std::size_t p = 0; p < table.pages.size(); ++p) {
+        bench::Check(processor.ProcessPage(table.pages[p], p, &counts, &out),
+                     "ProcessPage");
+      }
+      bench::Check(processor.Finish(&counts, &out), "Finish");
+      run.aggs = processor.agg_state();
     }
-    bench::Check(processor.Finish(&counts, &out), "Finish");
-    run.aggs = processor.agg_state();
     run.counts = counts;
   };
   const bench::WallMeasurement m = bench::MeasureWall(
@@ -147,15 +223,51 @@ struct Config {
   double selectivity;
   int columns;
   PageLayout layout;
+  bool morsel;  // also measure the morsel scanner on this config
 };
+
+const char* CompilerId() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonReporter json("wall_kernels", argc, argv);
   bench::PrintHeader(
-      "Wall-clock kernel throughput: scalar vs vectorized",
-      "execution-kernel rewrite; simulator efficiency, not device time");
+      "Wall-clock kernel throughput: scalar vs vectorized vs SIMD",
+      "raw-speed pass; simulator efficiency, not device time");
+
+  std::vector<int> morsel_threads = {2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kFlag = "--threads=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      morsel_threads.clear();
+      std::string list(arg.substr(kFlag.size()));
+      for (char* tok = std::strtok(list.data(), ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        const int t = std::atoi(tok);
+        if (t >= 2) morsel_threads.push_back(t);
+      }
+    }
+  }
+
+  const expr::KernelIsa best_isa = expr::DetectKernelIsa();
+  json.SetMetadata(
+      {{"compiler", CompilerId()},
+       {"build_type", SMARTSSD_BUILD_TYPE},
+       {"kernel_isa_detected", expr::KernelIsaName(best_isa)},
+       {"kernel_isa_active",
+        expr::KernelIsaName(expr::CurrentKernelIsa())},
+       {"hardware_threads",
+        std::to_string(std::thread::hardware_concurrency())}});
 
   std::vector<Config> configs;
   for (const double sel : {0.01, 0.10, 0.50, 0.90}) {
@@ -163,7 +275,9 @@ int main(int argc, char** argv) {
       char name[64];
       std::snprintf(name, sizeof(name), "scan-agg sel=%.0f%% w=8 %s",
                     sel * 100, layout == PageLayout::kNsm ? "nsm" : "pax");
-      configs.push_back({name, sel, 8, layout});
+      // Morsel rows only on the headline PAX 1%/10% configurations.
+      const bool morsel = layout == PageLayout::kPax && sel <= 0.10;
+      configs.push_back({name, sel, 8, layout, morsel});
     }
   }
   for (const int columns : {4, 32}) {
@@ -171,12 +285,12 @@ int main(int argc, char** argv) {
       char name[64];
       std::snprintf(name, sizeof(name), "scan-agg sel=10%% w=%d %s",
                     columns, layout == PageLayout::kNsm ? "nsm" : "pax");
-      configs.push_back({name, 0.10, columns, layout});
+      configs.push_back({name, 0.10, columns, layout, false});
     }
   }
 
-  std::printf("%-28s %14s %14s %8s\n", "config", "scalar rows/s",
-              "vector rows/s", "speedup");
+  std::printf("%-26s %12s %12s %12s %12s %8s\n", "config", "scalar r/s",
+              "vector r/s", "+simd r/s", "+simd+zm", "zm-gain");
   bench::PrintRule();
 
   for (const Config& config : configs) {
@@ -188,30 +302,72 @@ int main(int argc, char** argv) {
     auto bound = exec::Bind(spec, catalog);
     bench::Check(bound.status(), "Bind");
 
-    const KernelRun scalar =
-        RunKernel(*bound, table, exec::KernelMode::kScalar);
-    const KernelRun vectorized =
-        RunKernel(*bound, table, exec::KernelMode::kVectorized);
+    const KernelRun scalar = RunKernel(
+        *bound, table, {.mode = exec::KernelMode::kScalar});
+    const KernelRun vectorized = RunKernel(
+        *bound, table, {.isa = expr::KernelIsa::kScalarIsa});
+    const KernelRun simd =
+        RunKernel(*bound, table, {.isa = best_isa});
+    const KernelRun simd_zm = RunKernel(
+        *bound, table, {.isa = best_isa, .use_zone_map = true});
 
-    // The two kernels must agree bit for bit — a fast wrong answer is
-    // not a speedup.
+    // Every kernel build-up must agree with the interpreter bit for bit
+    // in results AND operation counts — the count identity is what
+    // keeps virtual time independent of all of this machinery.
     SMARTSSD_CHECK(scalar.aggs == vectorized.aggs);
     SMARTSSD_CHECK(scalar.counts == vectorized.counts);
+    SMARTSSD_CHECK(scalar.aggs == simd.aggs);
+    SMARTSSD_CHECK(scalar.counts == simd.counts);
+    SMARTSSD_CHECK(scalar.aggs == simd_zm.aggs);
+    SMARTSSD_CHECK(scalar.counts == simd_zm.counts);
 
-    const double speedup = scalar.rows_per_sec > 0
-                               ? vectorized.rows_per_sec / scalar.rows_per_sec
-                               : 0;
-    std::printf("%-28s %14.3g %14.3g %7.2fx\n", config.name.c_str(),
-                scalar.rows_per_sec, vectorized.rows_per_sec, speedup);
+    auto speedup_over = [](const KernelRun& num, const KernelRun& den) {
+      return den.rows_per_sec > 0 ? num.rows_per_sec / den.rows_per_sec : 0;
+    };
+    std::printf("%-26s %12.3g %12.3g %12.3g %12.3g %7.2fx\n",
+                config.name.c_str(), scalar.rows_per_sec,
+                vectorized.rows_per_sec, simd.rows_per_sec,
+                simd_zm.rows_per_sec, speedup_over(simd_zm, vectorized));
     json.AddWall(config.name + " scalar", scalar.seconds, NAN, NAN,
                  scalar.rows_per_sec);
     json.AddWall(config.name + " vectorized", vectorized.seconds, NAN,
-                 speedup, vectorized.rows_per_sec);
+                 speedup_over(vectorized, scalar),
+                 vectorized.rows_per_sec);
+    json.AddWall(config.name + " vectorized+simd", simd.seconds, NAN,
+                 speedup_over(simd, vectorized), simd.rows_per_sec);
+    json.AddWall(config.name + " vectorized+simd+zm", simd_zm.seconds,
+                 NAN, speedup_over(simd_zm, vectorized),
+                 simd_zm.rows_per_sec);
+
+    if (config.morsel) {
+      // Morsel scaling is measured without the zone map: batch skipping
+      // leaves almost no per-page work on these clustered configs, so a
+      // skip-enabled morsel row would only measure dispatch overhead.
+      // The interesting question is how the full-work SIMD kernel
+      // scales across threads, so measured_ratio = speedup over the
+      // single-threaded `vectorized+simd` row.
+      for (const int t : morsel_threads) {
+        const KernelRun morsel = RunKernel(
+            *bound, table, {.isa = best_isa, .morsel_threads = t});
+        SMARTSSD_CHECK(scalar.aggs == morsel.aggs);
+        SMARTSSD_CHECK(scalar.counts == morsel.counts);
+        char mname[96];
+        std::snprintf(mname, sizeof(mname), "%s morsel t%d",
+                      config.name.c_str(), t);
+        std::printf("%-26s %12s %12s %12.3g %12s %7.2fx\n", mname, "", "",
+                    morsel.rows_per_sec, "", speedup_over(morsel, simd));
+        json.AddWall(mname, morsel.seconds, NAN, speedup_over(morsel, simd),
+                     morsel.rows_per_sec);
+      }
+    }
   }
 
   bench::PrintRule();
-  std::printf("rows per config: %d; best of %d repeats after warmup\n",
-              kRows, kRepeats);
+  std::printf(
+      "rows per config: %d; best of %d repeats after warmup; "
+      "kernel isa: %s (detected %s)\n",
+      kRows, kRepeats, expr::KernelIsaName(expr::CurrentKernelIsa()),
+      expr::KernelIsaName(best_isa));
   json.Write();
   return 0;
 }

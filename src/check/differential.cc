@@ -13,6 +13,7 @@
 #include "engine/executor.h"
 #include "engine/fleet.h"
 #include "engine/parallel.h"
+#include "expr/kernel_isa.h"
 #include "sim/fault_injector.h"
 
 namespace smartssd::check {
@@ -303,6 +304,31 @@ class DifferentialRunner {
       }
       if (Status diff = CompareCounts(*ref, *vec); !diff.ok()) {
         return std::make_pair(std::string("ref-nsm-host-vec"),
+                              diff.ToString());
+      }
+    }
+
+    // ISA axis: when this machine's best kernel ISA is not plain scalar
+    // code, re-run the vectorized twin with the SIMD lanes forced off.
+    // Configs run strictly sequentially, so scoping the process-global
+    // ISA around one run is safe. Proves the SIMD compare/compact/
+    // gather kernels are bit-identical to their scalar fallbacks on
+    // whatever CPU the sweep happens to run on.
+    if (expr::DetectKernelIsa() != expr::KernelIsa::kScalarIsa) {
+      const expr::ScopedKernelIsa force_scalar(expr::KernelIsa::kScalarIsa);
+      auto vec = RunSingle(*db_ref_vec_, tracer_ref_vec_, spec,
+                           ExecutionTarget::kHost,
+                           "ref-nsm-host-vec-scalar-isa", nullptr);
+      if (!vec.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec-scalar-isa"),
+                              vec.status().ToString());
+      }
+      if (Status diff = CompareOutputs(*ref, *vec); !diff.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec-scalar-isa"),
+                              diff.ToString());
+      }
+      if (Status diff = CompareCounts(*ref, *vec); !diff.ok()) {
+        return std::make_pair(std::string("ref-nsm-host-vec-scalar-isa"),
                               diff.ToString());
       }
     }

@@ -11,6 +11,7 @@
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
+#include "exec/morsel.h"
 #include "exec/page_processor.h"
 #include "exec/predicate_range.h"
 #include "exec/pushdown_program.h"
@@ -71,6 +72,12 @@ class HostQueryTask {
   StepOutcome StepBuildFinish();
   StepOutcome StepPrepareScan();
   StepOutcome StepScan();
+  // Morsel-parallel variant: dispatches the whole scan to worker
+  // threads in one step, then replays virtual time from the per-page
+  // counts in page order (wall-clock-only parallelism; see
+  // exec/morsel.h). Taken when host_threads > 1 and the query is
+  // morsel-eligible.
+  StepOutcome StepScanMorsel();
   StepOutcome StepFinish();
   StepOutcome FailWith(const Status& error);
   void CloseSpanForError();
@@ -93,11 +100,19 @@ class HostQueryTask {
   std::uint64_t build_page_ = 0;
   std::optional<exec::JoinHashTable> hash_table_;
 
-  // Scan state.
+  // Scan state. Exactly one of processor_ / morsel_ is engaged:
+  // morsel_ when host_threads > 1 and the query is morsel-eligible
+  // (StepFinish then drives the merged processor), processor_
+  // otherwise.
   std::optional<exec::PageProcessor> processor_;
+  std::optional<exec::MorselScanner> morsel_;
   exec::CpuCostParams host_params_{};
   std::uint64_t hash_entries_ = 0;
   const storage::ZoneMap* zone_map_ = nullptr;
+  // The zone map the processor's batch-skip analysis was last armed
+  // with; re-armed whenever a step observes the map changing (e.g. a
+  // co-scheduled writer marking it stale destroys the old object).
+  const storage::ZoneMap* armed_zone_map_ = nullptr;
   std::map<int, exec::ColumnRange> prune_ranges_;
   SimTime end_ = 0;
   SimTime scan_started_ = 0;

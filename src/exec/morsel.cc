@@ -1,0 +1,107 @@
+#include "exec/morsel.h"
+
+#include <utility>
+
+namespace smartssd::exec {
+
+MorselScanner::MorselScanner(const BoundQuery* bound,
+                             const JoinHashTable* hash_table,
+                             KernelMode mode,
+                             const storage::ZoneMap* zone_map, int threads) {
+  SMARTSSD_CHECK(threads >= 2);
+  SMARTSSD_CHECK(Eligible(*bound));
+  if (hash_table != nullptr) hash_table->Seal();
+  // A couple of undigested pages per worker keeps everyone busy without
+  // buffering an unbounded slice of the table.
+  in_flight_cap_ = static_cast<std::size_t>(threads) * 4;
+  processors_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    processors_.push_back(
+        std::make_unique<PageProcessor>(bound, hash_table, mode));
+    if (zone_map != nullptr) processors_.back()->SetZoneMap(zone_map);
+  }
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    threads_.emplace_back(&MorselScanner::WorkerLoop, this,
+                          processors_[static_cast<std::size_t>(t)].get());
+  }
+}
+
+MorselScanner::~MorselScanner() {
+  // Error-path teardown: make sure the workers are gone. The returned
+  // status was either already surfaced by an explicit Drain() or is
+  // moot because the query failed before reaching it.
+  if (!drained_) {
+    const Status status = Drain();
+    (void)status;
+  }
+}
+
+void MorselScanner::AddPage(std::uint64_t page_index,
+                            std::span<const std::byte> page) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SMARTSSD_CHECK(!closed_);
+  work_done_.wait(lock, [this] {
+    return pages_.size() - completed_ < in_flight_cap_;
+  });
+  PageWork& work = pages_.emplace_back();
+  work.page_index = page_index;
+  work.bytes.assign(page.begin(), page.end());
+  lock.unlock();
+  work_ready_.notify_one();
+}
+
+void MorselScanner::WorkerLoop(PageProcessor* processor) {
+  for (;;) {
+    PageWork* work = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return closed_ || next_ < pages_.size(); });
+      if (next_ >= pages_.size()) return;  // closed and drained
+      work = &pages_[next_++];  // stable: the deque never shrinks
+    }
+    work->status = processor->ProcessPage(
+        std::span<const std::byte>(work->bytes), work->page_index,
+        &work->counts, &work->rows);
+    // The page copy is digested; drop it so in-flight memory stays
+    // bounded by the cap, not the table size.
+    work->bytes = std::vector<std::byte>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+Status MorselScanner::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (drained_) return Status::OK();
+  drained_ = true;
+  // Everything below runs after the joins, so every slot and every
+  // worker processor is quiescent and safely readable here.
+  for (const PageWork& work : pages_) {
+    if (!work.status.ok()) return work.status;
+  }
+  for (std::size_t t = 1; t < processors_.size(); ++t) {
+    processors_.front()->MergeFrom(*processors_[t]);
+  }
+  return Status::OK();
+}
+
+void MorselScanner::AppendRows(std::vector<std::byte>* out) {
+  SMARTSSD_CHECK(drained_);
+  for (PageWork& work : pages_) {
+    out->insert(out->end(), work.rows.begin(), work.rows.end());
+  }
+}
+
+}  // namespace smartssd::exec

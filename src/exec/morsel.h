@@ -1,0 +1,111 @@
+#ifndef SMARTSSD_EXEC_MORSEL_H_
+#define SMARTSSD_EXEC_MORSEL_H_
+
+// Morsel-parallel host scan: wall-clock-only multi-threading for the
+// page-processing loop.
+//
+// The simulation's virtual-time accounting is untouched by this layer.
+// The dispatcher (the calling thread) feeds pages in scan order; worker
+// threads run private PageProcessors over them and record each page's
+// OpCounts and output rows next to the page, keyed by submission index.
+// The caller replays virtual time from those per-page counts in
+// submission order — the identical cost-model call sequence the serial
+// loop makes — and merges results deterministically:
+//  * projection rows concatenate in page submission order,
+//  * aggregate/GROUP BY state folds via PageProcessor::MergeFrom
+//    (commutative folds; group output is sorted at Finish),
+// so results, OpCounts, and virtual-time numbers are byte-identical at
+// any thread count. All simulation and differential paths run with
+// threads == 1, which bypasses this scanner entirely.
+//
+// Threading discipline (what keeps TSan quiet): page slots live in a
+// deque that only grows; workers take a stable element pointer under
+// the queue mutex and write only their claimed slot outside it; the
+// dispatcher reads slots only after Drain() has joined every worker.
+// The join hash table is sealed before the workers start, so probes
+// never write the lazy-seal flag concurrently.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "exec/cost_model.h"
+#include "exec/kernel_mode.h"
+#include "exec/page_processor.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::exec {
+
+class MorselScanner {
+ public:
+  // Mirrors the PageProcessor constructor; `zone_map` (optional) arms
+  // the batch skip paths on every worker. `threads` >= 2.
+  MorselScanner(const BoundQuery* bound, const JoinHashTable* hash_table,
+                KernelMode mode, const storage::ZoneMap* zone_map,
+                int threads);
+  ~MorselScanner();
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(MorselScanner);
+
+  // Whether a query's result can be merged deterministically from
+  // per-worker partial state. Top-N cannot: its tie-keep-the-incumbent
+  // heap makes the kept set depend on arrival order.
+  static bool Eligible(const BoundQuery& bound) {
+    return !bound.spec->top_n.has_value();
+  }
+
+  // Copies one page's bytes and queues it (the source span may be a
+  // buffer-pool frame that gets evicted while workers are behind).
+  // Blocks when too many undigested pages are in flight.
+  void AddPage(std::uint64_t page_index, std::span<const std::byte> page);
+
+  // Joins the workers, folds every worker's aggregation state into the
+  // merged processor, and reports the first page-processing error.
+  Status Drain();
+
+  // Valid after Drain(). Per-page results in submission order.
+  std::size_t pages_submitted() const { return pages_.size(); }
+  const OpCounts& page_counts(std::size_t i) const {
+    return pages_[i].counts;
+  }
+  // Appends every page's output rows to `out` in submission order.
+  void AppendRows(std::vector<std::byte>* out);
+
+  // The merged processor (worker 0 after folding); drive Finish on it.
+  PageProcessor& merged() { return *processors_.front(); }
+
+ private:
+  struct PageWork {
+    std::uint64_t page_index = 0;
+    std::vector<std::byte> bytes;
+    OpCounts counts;
+    std::vector<std::byte> rows;
+    Status status = Status::OK();
+  };
+
+  void WorkerLoop(PageProcessor* processor);
+
+  std::vector<std::unique_ptr<PageProcessor>> processors_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::deque<PageWork> pages_;      // grows only; slots are stable
+  std::size_t next_ = 0;            // first unclaimed slot
+  std::size_t completed_ = 0;       // processed slots (for throttling)
+  std::size_t in_flight_cap_ = 0;
+  bool closed_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace smartssd::exec
+
+#endif  // SMARTSSD_EXEC_MORSEL_H_

@@ -366,14 +366,57 @@ Status PageProcessor::SinkJoinedRow(
   return Status::OK();
 }
 
+void PageProcessor::SetZoneMap(const storage::ZoneMap* map) {
+  skip_analysis_ =
+      BatchSkipAnalysis(bound_->spec->predicate.get(), map,
+                        bound_->outer_columns());
+}
+
 Status PageProcessor::ProcessPage(std::span<const std::byte> page,
+                                  std::uint64_t page_index,
                                   OpCounts* counts,
                                   std::vector<std::byte>* out) {
   ++counts->pages;
   if (mode_ == KernelMode::kVectorized) {
-    return ProcessPageVectorized(page, counts, out);
+    return ProcessPageVectorized(page, page_index, counts, out);
   }
   return ProcessPageScalar(page, counts, out);
+}
+
+void PageProcessor::MergeFrom(const PageProcessor& other) {
+  SMARTSSD_CHECK(!bound_->spec->top_n.has_value());
+  SMARTSSD_CHECK(hybrid_ == nullptr && other.hybrid_ == nullptr);
+  const QuerySpec& spec = *bound_->spec;
+  auto fold = [&spec](std::size_t i, std::int64_t& state, std::int64_t v) {
+    switch (spec.aggregates[i].fn) {
+      case AggSpec::Fn::kSum:
+      case AggSpec::Fn::kCount:  // partial counts are additive
+        state += v;
+        break;
+      case AggSpec::Fn::kMin:
+        state = std::min(state, v);
+        break;
+      case AggSpec::Fn::kMax:
+        state = std::max(state, v);
+        break;
+    }
+  };
+  if (spec.group_by.empty()) {
+    for (std::size_t i = 0; i < agg_state_.size(); ++i) {
+      fold(i, agg_state_[i], other.agg_state_[i]);
+    }
+  } else {
+    for (std::uint32_t g = 0; g < other.group_table_.size(); ++g) {
+      const std::uint32_t mine = group_table_.FindOrInsert(
+          other.group_table_.key(g), agg_init_.data());
+      std::int64_t* states = group_table_.states(mine);
+      const std::int64_t* theirs = other.group_table_.states(g);
+      for (std::size_t i = 0; i < spec.aggregates.size(); ++i) {
+        fold(i, states[i], theirs[i]);
+      }
+    }
+  }
+  rows_output_ += other.rows_output_;
 }
 
 Status PageProcessor::ProcessPageScalar(std::span<const std::byte> page,
@@ -420,11 +463,25 @@ Status PageProcessor::ProcessPageScalar(std::span<const std::byte> page,
 }
 
 Status PageProcessor::ProcessPageVectorized(std::span<const std::byte> page,
+                                            std::uint64_t page_index,
                                             OpCounts* counts,
                                             std::vector<std::byte>* out) {
   const QuerySpec& spec = *bound_->spec;
   const storage::Schema& schema = bound_->outer->schema;
   const int outer_cols = schema.num_columns();
+
+  // Zone-map classification first: it needs only the page index, and an
+  // all-fail verdict on the filter-first path skips even the NSM tuple-
+  // pointer gather below. The per-row cost it reports is exactly what
+  // the interpreter would charge the skipped rows (batch_skip.h), so
+  // the fast paths leave OpCounts byte-identical.
+  PageClass page_class = PageClass::kMixed;
+  expr::EvalStats skip_per_row;
+  if (page_index != kNoPage && pred_compiled_.has_value() &&
+      skip_analysis_.usable()) {
+    page_class = skip_analysis_.Classify(page_index, &skip_per_row);
+  }
+
   std::uint16_t n = 0;
   // The readers only validate and locate; the column pointers they hand
   // out live in `page` and stay valid after the readers go out of scope.
@@ -436,6 +493,14 @@ Status PageProcessor::ProcessPageVectorized(std::span<const std::byte> page,
     // Empty (e.g. zero-initialized) pages have no slot directory or
     // minipages to point into — bail before touching them.
     if (n == 0) return Status::OK();
+    // All-fail before the probe stage: every row short-circuits inside
+    // the predicate, so no per-row work (not even the pointer gather)
+    // remains — charge the rows' evaluation cost and move on.
+    if (page_class == PageClass::kAllFail &&
+        spec.order == PipelineOrder::kFilterFirst) {
+      AddScaledEvalStats(&counts->eval, skip_per_row, n);
+      return Status::OK();
+    }
     tuple_ptrs_.resize(n);
     reader.TuplePointers(tuple_ptrs_.data());
     for (int c = 0; c < outer_cols; ++c) {
@@ -450,6 +515,11 @@ Status PageProcessor::ProcessPageVectorized(std::span<const std::byte> page,
     n = reader.tuple_count();
     counts->tuples += n;
     if (n == 0) return Status::OK();
+    if (page_class == PageClass::kAllFail &&
+        spec.order == PipelineOrder::kFilterFirst) {
+      AddScaledEvalStats(&counts->eval, skip_per_row, n);
+      return Status::OK();
+    }
     for (int c = 0; c < outer_cols; ++c) {
       expr::BatchColumn& col = batch_columns_[static_cast<std::size_t>(c)];
       col.base = reader.column_data(c);
@@ -465,13 +535,32 @@ Status PageProcessor::ProcessPageVectorized(std::span<const std::byte> page,
                             static_cast<int>(batch_columns_.size())};
   if (spec.order == PipelineOrder::kFilterFirst) {
     if (pred_compiled_.has_value()) {
-      pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+      if (page_class == PageClass::kAllPass) {
+        // Every row passes: keep the dense selection and charge what
+        // evaluating the full conjunct chain on each row would have.
+        AddScaledEvalStats(&counts->eval, skip_per_row, n);
+      } else {
+        pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+      }
     }
     if (spec.join.has_value()) ProbeBatch(n, counts);
   } else {
     ProbeBatch(n, counts);
     if (pred_compiled_.has_value()) {
-      pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+      switch (page_class) {
+        case PageClass::kAllPass:
+          AddScaledEvalStats(&counts->eval, skip_per_row, sel_.size());
+          break;
+        case PageClass::kAllFail:
+          // Probe survivors would each evaluate (and fail) the chain's
+          // short-circuit prefix.
+          AddScaledEvalStats(&counts->eval, skip_per_row, sel_.size());
+          sel_.clear();
+          break;
+        case PageClass::kMixed:
+          pred_compiled_->Filter(in, &sel_, &scratch_, &counts->eval);
+          break;
+      }
     }
   }
   return SinkBatch(in, counts, out);

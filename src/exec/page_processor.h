@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/result.h"
+#include "exec/batch_skip.h"
 #include "exec/cost_model.h"
 #include "exec/group_table.h"
 #include "exec/hash_table.h"
@@ -55,10 +56,38 @@ class PageProcessor {
                 HybridJoin* hybrid = nullptr);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(PageProcessor);
 
+  // Sentinel page index for callers that cannot name the page.
+  static constexpr std::uint64_t kNoPage = ~0ull;
+
+  // Arms the zone-map batch fast paths: pages whose [min, max] decide
+  // the whole predicate are settled without per-row work (all-fail) or
+  // without predicate evaluation (all-pass), charging exactly the
+  // interpreter's OpCounts for the skipped rows (see exec/batch_skip.h).
+  // Effective only for the vectorized kernel and only on ProcessPage
+  // calls that carry a real page index; the scalar kernel stays the
+  // skip-free semantic reference. `map` must outlive the processor.
+  void SetZoneMap(const storage::ZoneMap* map);
+
   // Processes one outer-table page. Serialized output rows (packed
-  // fixed-width, per OutputSchema) are appended to `out`.
-  Status ProcessPage(std::span<const std::byte> page, OpCounts* counts,
+  // fixed-width, per OutputSchema) are appended to `out`. `page_index`
+  // is the table-relative index (for zone-map classification); the
+  // two-argument form processes without one.
+  Status ProcessPage(std::span<const std::byte> page,
+                     std::uint64_t page_index, OpCounts* counts,
                      std::vector<std::byte>* out);
+  Status ProcessPage(std::span<const std::byte> page, OpCounts* counts,
+                     std::vector<std::byte>* out) {
+    return ProcessPage(page, kNoPage, counts, out);
+  }
+
+  // Folds another processor's aggregation state into this one (morsel
+  // merge): scalar aggregates, GROUP BY groups, and the projection row
+  // count. Both processors must be built from the same BoundQuery and
+  // must not have Finish()ed; top-N and hybrid-join state do not merge
+  // (morsel mode excludes those queries). Aggregate folds are
+  // commutative and group output is sorted at Finish, so the merged
+  // result is independent of worker scheduling.
+  void MergeFrom(const PageProcessor& other);
 
   // Emits the final rows: the scalar aggregate row, the per-group rows
   // (GROUP BY, in key order), or the top-N rows (in sort order).
@@ -110,7 +139,7 @@ class PageProcessor {
   // Compiles predicate + aggregate inputs; false => fall back to scalar.
   bool CompileKernels();
   Status ProcessPageVectorized(std::span<const std::byte> page,
-                               OpCounts* counts,
+                               std::uint64_t page_index, OpCounts* counts,
                                std::vector<std::byte>* out);
   // Probes the join hash table for every lane of sel_, keeps the hits,
   // and repoints the payload batch columns. `rows` is the page's tuple
@@ -136,6 +165,9 @@ class PageProcessor {
   std::vector<std::byte> row_scratch_;
   std::uint32_t output_row_width_ = 0;
   std::uint64_t rows_output_ = 0;
+
+  // Zone-map batch skipping (vectorized kernel only).
+  BatchSkipAnalysis skip_analysis_;
 
   // Vectorized-kernel state, reused across pages.
   std::optional<expr::CompiledExpr> pred_compiled_;

@@ -164,6 +164,21 @@ Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
   processor_ = std::make_unique<PageProcessor>(
       bound_, hash_table_.has_value() ? &*hash_table_ : nullptr, kernel_,
       hybrid_.get());
+  processor_->SetZoneMap(zone_map_);
+  // Page-index sequence matching InputExtents() (see header). With no
+  // prune ranges the inner loop is empty and every page survives.
+  input_pages_.clear();
+  next_input_page_ = 0;
+  for (std::uint64_t p = 0; p < bound_->outer->page_count; ++p) {
+    bool may_match = true;
+    for (const auto& [col, range] : prune_ranges_) {
+      if (!zone_map_->PageMayMatch(p, col, range.lo, range.hi)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (may_match) input_pages_.push_back(p);
+  }
   NotePeak();
   return done;
 }
@@ -203,10 +218,14 @@ std::vector<smart::LpnRange> PushdownProgram::InputExtents() const {
 Result<smart::ProgramCharge> PushdownProgram::ProcessPage(
     std::span<const std::byte> page, smart::ResultSink& sink) {
   SMARTSSD_CHECK(processor_ != nullptr);  // Open() must run first
+  const std::uint64_t page_index =
+      next_input_page_ < input_pages_.size()
+          ? input_pages_[next_input_page_++]
+          : PageProcessor::kNoPage;
   OpCounts page_counts;
   scratch_.clear();
   SMARTSSD_RETURN_IF_ERROR(
-      processor_->ProcessPage(page, &page_counts, &scratch_));
+      processor_->ProcessPage(page, page_index, &page_counts, &scratch_));
   if (!scratch_.empty()) sink.Emit(scratch_);
   counts_ += page_counts;
   NotePeak();

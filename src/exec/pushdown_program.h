@@ -97,6 +97,13 @@ class PushdownProgram final : public smart::InSsdProgram {
   HybridJoinConfig spill_;
   std::uint32_t spill_page_size_hint_;
   std::map<int, ColumnRange> prune_ranges_;  // outer columns only
+  // The session protocol delivers exactly the pages InputExtents()
+  // announces — one ProcessPage() call per page, in extent order. This
+  // is that page-index sequence (computed in Open() with the same
+  // pruning walk), consumed one entry per delivery so each page can be
+  // tied back to its zone-map entry for the batch-skip fast paths.
+  std::vector<std::uint64_t> input_pages_;
+  std::size_t next_input_page_ = 0;
   mutable std::uint64_t pages_skipped_ = 0;
   std::optional<JoinHashTable> hash_table_;
   std::unique_ptr<HybridJoin> hybrid_;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "expr/kernel_isa.h"
+#include "expr/simd_i64.h"
 
 namespace smartssd::expr {
 
@@ -112,6 +114,9 @@ void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
   SelVec& cur = scratch->cur_;
   std::size_t& depth = scratch->sel_depth_;
   depth = 0;
+  // One relaxed load per batch; the SIMD lanes are bit-exact drop-ins
+  // for the scalar loops, so this choice never changes slot contents.
+  const KernelIsa isa = CurrentKernelIsa();
 
   for (const BatchOp& op : prog_.ops()) {
     const std::size_t n = cur.size();
@@ -122,6 +127,17 @@ void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
         auto& out = scratch->slots_[static_cast<std::size_t>(op.dst)].i64;
         out.resize(n);
         stats->column_reads += n;
+        // Dense strided gather (all-pass pages, unfiltered loads over a
+        // packed PAX minipage) is a contiguous copy. `sel` is ascending
+        // and unique, so span == count implies consecutive row ids.
+        if (isa == KernelIsa::kAvx2 && n > 0 && col.base != nullptr &&
+            col.stride == col.width &&
+            static_cast<std::size_t>(sel[n - 1] - sel[0]) + 1 == n) {
+          LoadI64ContigAvx2(
+              col.base + static_cast<std::size_t>(sel[0]) * col.stride,
+              col.width, out.data(), n);
+          break;
+        }
         auto load = [&](auto addr) {
           if (col.width == 4) {
             for (std::size_t i = 0; i < n; ++i) {
@@ -176,6 +192,20 @@ void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
             scratch->slots_[static_cast<std::size_t>(op.dst)];
         const bool ua = prog_.slot(op.a).uniform;
         const bool ub = prog_.slot(op.b).uniform;
+        if (!is_d && isa == KernelIsa::kAvx2 && !(ua && ub)) {
+          sd.b8.resize(n);
+          std::uint8_t* o = sd.b8.data();
+          if (ua) {
+            // uniform OP v[i]  ==  v[i] FLIP(OP) uniform.
+            CmpI64VecLitAvx2(FlipCompare(op.cmp), sb.i64.data(), sa.u_i64, o,
+                             n);
+          } else if (ub) {
+            CmpI64VecLitAvx2(op.cmp, sa.i64.data(), sb.u_i64, o, n);
+          } else {
+            CmpI64VecVecAvx2(op.cmp, sa.i64.data(), sb.i64.data(), o, n);
+          }
+          break;
+        }
         // Typed once at the top, so the uniform/vector combinations all
         // compare operands of the same type.
         auto run_typed = [&](const auto& va, auto uax, const auto& vb,
@@ -266,6 +296,15 @@ void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
         }
         sd.i64.resize(n);
         std::int64_t* o = sd.i64.data();
+        if (isa == KernelIsa::kAvx2) {
+          const bool done =
+              ua ? ArithI64LitVecAvx2(op.arith, sa.u_i64, sb.i64.data(), o, n)
+              : ub ? ArithI64VecLitAvx2(op.arith, sa.i64.data(), sb.u_i64, o,
+                                        n)
+                   : ArithI64VecVecAvx2(op.arith, sa.i64.data(),
+                                        sb.i64.data(), o, n);
+          if (done) break;  // kMul has no 64-bit AVX2 lane; fall through.
+        }
         auto run = [&](auto ga, auto gb) {
           switch (op.arith) {
             case ArithOp::kAdd:
@@ -388,8 +427,12 @@ void CompiledExpr::Run(const BatchInput& in, BatchScratch* scratch,
           if ((sa.u_b8 != 0) != keep) cur.clear();
           break;
         }
-        std::size_t w = 0;
         const std::uint8_t* bv = sa.b8.data();
+        if (isa == KernelIsa::kAvx2) {
+          cur.resize(CompactSelAvx2(cur.data(), bv, keep, n));
+          break;
+        }
+        std::size_t w = 0;
         for (std::size_t i = 0; i < n; ++i) {
           if ((bv[i] != 0) == keep) cur[w++] = cur[i];
         }
@@ -516,8 +559,12 @@ void CompiledExpr::Filter(const BatchInput& in, SelVec* sel,
     if (root.u_b8 == 0) sel->clear();
     return;
   }
-  std::size_t w = 0;
   const std::uint8_t* bv = root.b8.data();
+  if (CurrentKernelIsa() == KernelIsa::kAvx2) {
+    sel->resize(CompactSelAvx2(sel->data(), bv, /*keep=*/true, sel->size()));
+    return;
+  }
+  std::size_t w = 0;
   for (std::size_t i = 0; i < sel->size(); ++i) {
     if (bv[i] != 0) (*sel)[w++] = (*sel)[i];
   }

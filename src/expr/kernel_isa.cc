@@ -1,0 +1,67 @@
+#include "expr/kernel_isa.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace smartssd::expr {
+
+namespace {
+
+KernelIsa DetectFromCpu() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // BMI2 is required alongside AVX2: selection compaction extracts its
+  // lane mask with PEXT. Every AVX2 part (Haswell+, Zen+) has both.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2")) {
+    return KernelIsa::kAvx2;
+  }
+#endif
+  return KernelIsa::kScalarIsa;
+}
+
+KernelIsa InitialIsa() {
+  if (const char* env = std::getenv("SMARTSSD_KERNEL_ISA")) {
+    if (std::strcmp(env, "scalar") == 0) return KernelIsa::kScalarIsa;
+    if (std::strcmp(env, "avx2") == 0) {
+      // Honored only when the CPU actually has the lanes.
+      return DetectFromCpu();
+    }
+    // Unknown value: ignore and auto-detect.
+  }
+  return DetectFromCpu();
+}
+
+std::atomic<KernelIsa>& Current() {
+  static std::atomic<KernelIsa> isa{InitialIsa()};
+  return isa;
+}
+
+}  // namespace
+
+KernelIsa DetectKernelIsa() {
+  static const KernelIsa isa = DetectFromCpu();
+  return isa;
+}
+
+KernelIsa CurrentKernelIsa() {
+  return Current().load(std::memory_order_relaxed);
+}
+
+KernelIsa SetKernelIsa(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx2 && DetectKernelIsa() != KernelIsa::kAvx2) {
+    isa = KernelIsa::kScalarIsa;
+  }
+  return Current().exchange(isa, std::memory_order_relaxed);
+}
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalarIsa:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace smartssd::expr

@@ -1,0 +1,54 @@
+#ifndef SMARTSSD_EXPR_KERNEL_ISA_H_
+#define SMARTSSD_EXPR_KERNEL_ISA_H_
+
+// Process-wide instruction-set selection for the compiled batch kernel.
+//
+// The batch kernel has two implementations of its int64 hot loops:
+// portable C++ (the semantic baseline, always available) and AVX2+BMI2
+// lanes (simd_i64.h). Both produce byte-identical slot contents and
+// selection vectors — the SIMD lanes are a pure speed substitution, so
+// OpCounts and every virtual-time number are unaffected by the choice.
+//
+// Selection is per-process: detected once from CPUID at startup,
+// overridable by the SMARTSSD_KERNEL_ISA environment variable
+// ("scalar" | "avx2") or programmatically via SetKernelIsa (used by the
+// differential harness to run both ISAs against each other, and by the
+// wall-clock bench to isolate the SIMD contribution).
+
+namespace smartssd::expr {
+
+enum class KernelIsa : int {
+  kScalarIsa = 0,  // portable C++ loops (the semantic baseline)
+  kAvx2 = 1,       // AVX2+BMI2 int64 compare/arith/compaction lanes
+};
+
+// Best ISA this CPU supports, from CPUID alone (no env override).
+KernelIsa DetectKernelIsa();
+
+// The current process-wide selection. Initialized to DetectKernelIsa()
+// filtered through SMARTSSD_KERNEL_ISA on first use.
+KernelIsa CurrentKernelIsa();
+
+// Overrides the process-wide selection; returns the previous value.
+// Requesting kAvx2 on a CPU without the lanes keeps the scalar ISA.
+KernelIsa SetKernelIsa(KernelIsa isa);
+
+const char* KernelIsaName(KernelIsa isa);
+
+// RAII override for scoped A/B runs. The differential harness runs its
+// configurations sequentially on one thread, so a scoped process-global
+// swap gives each run a well-defined ISA.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa) : prev_(SetKernelIsa(isa)) {}
+  ~ScopedKernelIsa() { SetKernelIsa(prev_); }
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  KernelIsa prev_;
+};
+
+}  // namespace smartssd::expr
+
+#endif  // SMARTSSD_EXPR_KERNEL_ISA_H_

@@ -1,0 +1,392 @@
+#include "expr/simd_i64.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SMARTSSD_HAVE_AVX2_LANES 1
+#else
+#define SMARTSSD_HAVE_AVX2_LANES 0
+#endif
+
+namespace smartssd::expr {
+
+namespace {
+
+// Scalar reference used for loop tails (and the whole body on non-x86
+// builds). Must match batch.cc's CmpScalar<std::int64_t> exactly.
+bool CmpI64Scalar(CompareOp op, std::int64_t x, std::int64_t y) {
+  switch (op) {
+    case CompareOp::kEq:
+      return x == y;
+    case CompareOp::kNe:
+      return x != y;
+    case CompareOp::kLt:
+      return x < y;
+    case CompareOp::kLe:
+      return x <= y;
+    case CompareOp::kGt:
+      return x > y;
+    case CompareOp::kGe:
+      return x >= y;
+  }
+  return false;
+}
+
+#if SMARTSSD_HAVE_AVX2_LANES
+
+// AVX2 has signed compares for == and > only; the six operators reduce
+// to three combine shapes plus an optional lane-mask inversion.
+enum class Combine { kEq, kGt, kGe };
+
+struct CmpMode {
+  Combine comb;
+  bool invert;
+};
+
+CmpMode ModeFor(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return {Combine::kEq, false};
+    case CompareOp::kNe:
+      return {Combine::kEq, true};
+    case CompareOp::kGt:
+      return {Combine::kGt, false};
+    case CompareOp::kLe:
+      return {Combine::kGt, true};
+    case CompareOp::kGe:
+      return {Combine::kGe, false};
+    case CompareOp::kLt:
+      return {Combine::kGe, true};
+  }
+  return {Combine::kEq, false};
+}
+
+// 4-bit lane mask -> four 0/1 output bytes (little-endian: byte j is
+// lane j). Keeps the boolean-slot encoding identical to the scalar
+// kernel, which writes 0/1, not 0xFF.
+constexpr std::uint32_t kMask4[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u,
+};
+
+// 8-bit survivor mask -> permutation that left-packs the surviving
+// 32-bit lanes of a YMM register. 8 KiB, built at compile time.
+struct PermTable {
+  alignas(32) std::uint32_t idx[256][8];
+};
+
+constexpr PermTable MakePermTable() {
+  PermTable t{};
+  for (int m = 0; m < 256; ++m) {
+    int w = 0;
+    for (int b = 0; b < 8; ++b) {
+      if ((m >> b) & 1) t.idx[m][w++] = static_cast<std::uint32_t>(b);
+    }
+    for (; w < 8; ++w) t.idx[m][w] = 0;
+  }
+  return t;
+}
+
+constexpr PermTable kPerm = MakePermTable();
+
+#endif  // SMARTSSD_HAVE_AVX2_LANES
+
+}  // namespace
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      break;
+  }
+  return op;
+}
+
+#if SMARTSSD_HAVE_AVX2_LANES
+
+__attribute__((target("avx2,bmi2"))) void CmpI64VecLitAvx2(
+    CompareOp op, const std::int64_t* a, std::int64_t lit, std::uint8_t* out,
+    std::size_t n) {
+  const CmpMode mode = ModeFor(op);
+  const unsigned inv = mode.invert ? 0xFu : 0u;
+  const __m256i vb = _mm256_set1_epi64x(lit);
+  std::size_t i = 0;
+  switch (mode.comb) {
+    case Combine::kEq:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+    case Combine::kGt:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(va, vb)))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+    case Combine::kGe:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i ge = _mm256_or_si256(_mm256_cmpgt_epi64(va, vb),
+                                           _mm256_cmpeq_epi64(va, vb));
+        const unsigned m =
+            static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(ge))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+  }
+  for (; i < n; ++i) out[i] = CmpI64Scalar(op, a[i], lit) ? 1 : 0;
+}
+
+__attribute__((target("avx2,bmi2"))) void CmpI64VecVecAvx2(
+    CompareOp op, const std::int64_t* a, const std::int64_t* b,
+    std::uint8_t* out, std::size_t n) {
+  const CmpMode mode = ModeFor(op);
+  const unsigned inv = mode.invert ? 0xFu : 0u;
+  std::size_t i = 0;
+  switch (mode.comb) {
+    case Combine::kEq:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+    case Combine::kGt:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(va, vb)))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+    case Combine::kGe:
+      for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i ge = _mm256_or_si256(_mm256_cmpgt_epi64(va, vb),
+                                           _mm256_cmpeq_epi64(va, vb));
+        const unsigned m =
+            static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(ge))) ^
+            inv;
+        std::memcpy(out + i, &kMask4[m], 4);
+      }
+      break;
+  }
+  for (; i < n; ++i) out[i] = CmpI64Scalar(op, a[i], b[i]) ? 1 : 0;
+}
+
+__attribute__((target("avx2,bmi2"))) std::size_t CompactSelAvx2(
+    std::uint32_t* sel, const std::uint8_t* b8, bool keep, std::size_t n) {
+  std::size_t w = 0;
+  std::size_t i = 0;
+  const unsigned inv = keep ? 0u : 0xFFu;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t bytes;
+    std::memcpy(&bytes, b8 + i, sizeof(bytes));
+    // One bit per 0/1 byte (the documented boolean-slot encoding).
+    const unsigned mask =
+        static_cast<unsigned>(_pext_u64(bytes, 0x0101010101010101ull)) ^ inv;
+    const __m256i lanes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kPerm.idx[mask]));
+    // In-place is safe: the store window [w, w+8) ends at most at i+8,
+    // and lanes [i, i+8) were loaded above before this store.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel + w),
+                        _mm256_permutevar8x32_epi32(lanes, perm));
+    w += static_cast<std::size_t>(__builtin_popcount(mask));
+  }
+  for (; i < n; ++i) {
+    if ((b8[i] != 0) == keep) sel[w++] = sel[i];
+  }
+  return w;
+}
+
+__attribute__((target("avx2,bmi2"))) void LoadI64ContigAvx2(
+    const std::byte* src, std::uint32_t width, std::int64_t* out,
+    std::size_t n) {
+  if (width == 8) {
+    std::memcpy(out, src, n * sizeof(std::int64_t));
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + i * sizeof(std::int32_t)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_cvtepi32_epi64(v));
+  }
+  for (; i < n; ++i) {
+    std::int32_t v;
+    std::memcpy(&v, src + i * sizeof(std::int32_t), sizeof(v));
+    out[i] = v;
+  }
+}
+
+__attribute__((target("avx2,bmi2"))) bool ArithI64VecVecAvx2(
+    ArithOp op, const std::int64_t* a, const std::int64_t* b,
+    std::int64_t* out, std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  const bool add = op == ArithOp::kAdd;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        add ? _mm256_add_epi64(va, vb) : _mm256_sub_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = add ? a[i] + b[i] : a[i] - b[i];
+  return true;
+}
+
+__attribute__((target("avx2,bmi2"))) bool ArithI64VecLitAvx2(
+    ArithOp op, const std::int64_t* a, std::int64_t lit, std::int64_t* out,
+    std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  const bool add = op == ArithOp::kAdd;
+  const __m256i vb = _mm256_set1_epi64x(lit);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        add ? _mm256_add_epi64(va, vb) : _mm256_sub_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = add ? a[i] + lit : a[i] - lit;
+  return true;
+}
+
+__attribute__((target("avx2,bmi2"))) bool ArithI64LitVecAvx2(
+    ArithOp op, std::int64_t lit, const std::int64_t* b, std::int64_t* out,
+    std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  const bool add = op == ArithOp::kAdd;
+  const __m256i va = _mm256_set1_epi64x(lit);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        add ? _mm256_add_epi64(va, vb) : _mm256_sub_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = add ? lit + b[i] : lit - b[i];
+  return true;
+}
+
+#else  // !SMARTSSD_HAVE_AVX2_LANES
+
+// Portable bodies so non-x86 builds link; unreachable in practice
+// because ISA detection never selects kAvx2 off x86.
+
+void CmpI64VecLitAvx2(CompareOp op, const std::int64_t* a, std::int64_t lit,
+                      std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = CmpI64Scalar(op, a[i], lit) ? 1 : 0;
+  }
+}
+
+void CmpI64VecVecAvx2(CompareOp op, const std::int64_t* a,
+                      const std::int64_t* b, std::uint8_t* out,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = CmpI64Scalar(op, a[i], b[i]) ? 1 : 0;
+  }
+}
+
+std::size_t CompactSelAvx2(std::uint32_t* sel, const std::uint8_t* b8,
+                           bool keep, std::size_t n) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((b8[i] != 0) == keep) sel[w++] = sel[i];
+  }
+  return w;
+}
+
+void LoadI64ContigAvx2(const std::byte* src, std::uint32_t width,
+                       std::int64_t* out, std::size_t n) {
+  if (width == 8) {
+    std::memcpy(out, src, n * sizeof(std::int64_t));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t v;
+    std::memcpy(&v, src + i * sizeof(std::int32_t), sizeof(v));
+    out[i] = v;
+  }
+}
+
+bool ArithI64VecVecAvx2(ArithOp op, const std::int64_t* a,
+                        const std::int64_t* b, std::int64_t* out,
+                        std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = op == ArithOp::kAdd ? a[i] + b[i] : a[i] - b[i];
+  }
+  return true;
+}
+
+bool ArithI64VecLitAvx2(ArithOp op, const std::int64_t* a, std::int64_t lit,
+                        std::int64_t* out, std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = op == ArithOp::kAdd ? a[i] + lit : a[i] - lit;
+  }
+  return true;
+}
+
+bool ArithI64LitVecAvx2(ArithOp op, std::int64_t lit, const std::int64_t* b,
+                        std::int64_t* out, std::size_t n) {
+  if (op != ArithOp::kAdd && op != ArithOp::kSub) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = op == ArithOp::kAdd ? lit + b[i] : lit - b[i];
+  }
+  return true;
+}
+
+#endif  // SMARTSSD_HAVE_AVX2_LANES
+
+}  // namespace smartssd::expr

@@ -98,5 +98,28 @@ TEST(JsonReporterTest, WritesEscapedWellFormedOutput) {
   EXPECT_EQ(quotes % 2, 0);
 }
 
+TEST(JsonReporterTest, MetadataHeaderRowIsEscapedAndFirst) {
+  const std::string path =
+      testing::TempDir() + "/bench_json_meta_output.json";
+  std::string json_arg = "--json=" + path;
+  char arg0[] = "bench";
+  std::vector<char*> argv = {arg0, json_arg.data()};
+  JsonReporter reporter("wall", static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(reporter.enabled());
+  reporter.SetMetadata({{"compiler", "gcc \"12\""}, {"kernel_isa", "avx2"}});
+  reporter.AddWall("cfg", 0.25, NAN, 1.0, 1e6);
+  reporter.Write();
+
+  const std::string written = ReadFile(path);
+  std::remove(path.c_str());
+  const std::size_t meta_pos = written.find("\"metadata\":{");
+  ASSERT_NE(meta_pos, std::string::npos);
+  EXPECT_NE(written.find("\"compiler\":\"gcc \\\"12\\\"\""),
+            std::string::npos);
+  EXPECT_NE(written.find("\"kernel_isa\":\"avx2\""), std::string::npos);
+  // Metadata must precede every measurement row.
+  EXPECT_LT(meta_pos, written.find("\"config\":\"cfg\""));
+}
+
 }  // namespace
 }  // namespace smartssd::bench

@@ -25,6 +25,7 @@
 #include "check/spec_print.h"
 #include "check/table_gen.h"
 #include "exec/query_spec.h"
+#include "expr/kernel_isa.h"
 
 namespace smartssd {
 namespace {
@@ -87,10 +88,13 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   options.specs_per_seed = 2;
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
-  // ref (scalar + vectorized twin) + 6 single configs (incl. the two
-  // hybrid-join spill budgets) + 3 parallel configs + 2 fleet configs
-  // + 4 write-path GC configs per spec.
-  EXPECT_EQ(report.executions, 2 * 17);
+  // ref (scalar + vectorized twin, plus a scalar-ISA re-run of the twin
+  // on machines whose best kernel ISA uses SIMD lanes) + 6 single
+  // configs (incl. the two hybrid-join spill budgets) + 3 parallel
+  // configs + 2 fleet configs + 4 write-path GC configs per spec.
+  const int isa_axis =
+      expr::DetectKernelIsa() != expr::KernelIsa::kScalarIsa ? 1 : 0;
+  EXPECT_EQ(report.executions, 2 * (17 + isa_axis));
 }
 
 TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
@@ -100,7 +104,9 @@ TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
   options.specs_per_seed = 2;
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
-  EXPECT_EQ(report.executions, 2 * 13);
+  const int isa_axis =
+      expr::DetectKernelIsa() != expr::KernelIsa::kScalarIsa ? 1 : 0;
+  EXPECT_EQ(report.executions, 2 * (13 + isa_axis));
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Morsel-parallel host scans are wall-clock-only: at any
+// DatabaseOptions::host_threads setting the results, the operation
+// counts, AND every virtual-time number must be byte-identical to the
+// serial scan, because virtual time is replayed from per-page counts in
+// page order regardless of which worker ground the page. These tests
+// run the same queries end to end at host_threads 1, 2, and 8 and
+// require exact equality; they are also the TSan workload for the
+// scanner (build with SMARTSSD_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "exec/morsel.h"
+#include "exec/page_processor.h"
+#include "tpch/queries.h"
+#include "tpch/synthetic.h"
+#include "tpch/tpch_gen.h"
+
+namespace smartssd::engine {
+namespace {
+
+constexpr double kSf = 0.002;  // 12k LINEITEM rows
+constexpr std::uint64_t kSRows = 10'000;
+constexpr std::uint64_t kRRows = 50;
+
+std::unique_ptr<Database> MakeDb(int host_threads) {
+  DatabaseOptions options = DatabaseOptions::PaperSmartSsd();
+  options.host_threads = host_threads;
+  auto db = std::make_unique<Database>(options);
+  SMARTSSD_CHECK(tpch::LoadLineitem(*db, "lineitem", kSf,
+                                    storage::PageLayout::kPax)
+                     .ok());
+  SMARTSSD_CHECK(tpch::LoadSyntheticS(*db, "S", 64, kSRows, kRRows,
+                                      storage::PageLayout::kNsm)
+                     .ok());
+  SMARTSSD_CHECK(tpch::LoadSyntheticR(*db, "R", 64, kRRows,
+                                      storage::PageLayout::kNsm)
+                     .ok());
+  SMARTSSD_CHECK(db->BuildZoneMap("lineitem").ok());
+  SMARTSSD_CHECK(db->BuildZoneMap("S").ok());
+  db->ResetForColdRun();
+  return db;
+}
+
+QueryResult RunQuery(Database& db, const exec::QuerySpec& spec) {
+  db.ResetForColdRun();
+  QueryExecutor executor(&db);
+  auto result = executor.Execute(spec, ExecutionTarget::kHost);
+  SMARTSSD_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+// Full byte-identity between two runs: output rows, decoded aggregates,
+// operation counts, and the virtual-time numbers those counts drive.
+void ExpectIdentical(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.agg_values, b.agg_values);
+  EXPECT_TRUE(a.stats.counts == b.stats.counts)
+      << "operation counts diverged across host_threads";
+  EXPECT_EQ(a.stats.host_cycles, b.stats.host_cycles);
+  EXPECT_EQ(a.stats.end, b.stats.end) << "virtual time diverged";
+  EXPECT_EQ(a.stats.pages_read, b.stats.pages_read);
+  EXPECT_EQ(a.stats.pages_skipped, b.stats.pages_skipped);
+  EXPECT_EQ(a.stats.bytes_over_host_link, b.stats.bytes_over_host_link);
+}
+
+class MorselTest : public ::testing::Test {
+ protected:
+  MorselTest()
+      : db1_(MakeDb(1)), db2_(MakeDb(2)), db8_(MakeDb(8)) {}
+
+  void CheckAcrossThreadCounts(const exec::QuerySpec& spec) {
+    const QueryResult serial = RunQuery(*db1_, spec);
+    const QueryResult t2 = RunQuery(*db2_, spec);
+    const QueryResult t8 = RunQuery(*db8_, spec);
+    ExpectIdentical(serial, t2);
+    ExpectIdentical(serial, t8);
+  }
+
+  std::unique_ptr<Database> db1_;
+  std::unique_ptr<Database> db2_;
+  std::unique_ptr<Database> db8_;
+};
+
+TEST_F(MorselTest, ScanAggregateWithZoneMap) {
+  CheckAcrossThreadCounts(tpch::Q6Spec("lineitem"));
+}
+
+TEST_F(MorselTest, ProjectionRowsConcatenateInPageOrder) {
+  // Row output order is the serial scan order, not worker finish order.
+  CheckAcrossThreadCounts(
+      tpch::ScanQuerySpec("S", 64, 0.2, /*aggregate=*/false,
+                          /*projected_columns=*/4));
+}
+
+TEST_F(MorselTest, GroupByMergesDeterministically) {
+  CheckAcrossThreadCounts(tpch::Q1Spec("lineitem"));
+}
+
+TEST_F(MorselTest, JoinProbesSealedHashTable) {
+  CheckAcrossThreadCounts(tpch::JoinQuerySpec("S", "R", 0.1));
+}
+
+TEST_F(MorselTest, TopNFallsBackToSerialAndStillMatches) {
+  // Top-N is not morsel-eligible (its tie-keep-the-incumbent heap is
+  // order-sensitive); host_threads > 1 must silently take the serial
+  // path and produce the same bytes.
+  CheckAcrossThreadCounts(
+      tpch::TopNQuerySpec("S", 64, 0.3, /*limit=*/17));
+}
+
+TEST_F(MorselTest, EligibilityExcludesTopN) {
+  exec::QuerySpec spec = tpch::TopNQuerySpec("S", 64, 0.3, 17);
+  storage::Catalog& catalog = db1_->catalog();
+  auto bound = exec::Bind(spec, catalog);
+  SMARTSSD_CHECK(bound.ok());
+  EXPECT_FALSE(exec::MorselScanner::Eligible(*bound));
+
+  exec::QuerySpec agg = tpch::Q6Spec("lineitem");
+  auto bound_agg = exec::Bind(agg, catalog);
+  SMARTSSD_CHECK(bound_agg.ok());
+  EXPECT_TRUE(exec::MorselScanner::Eligible(*bound_agg));
+}
+
+// Direct scanner determinism, independent of the engine: the same page
+// stream through 2 and 8 workers yields identical per-page counts,
+// identical merged aggregation state, and identical concatenated rows.
+TEST_F(MorselTest, ScannerIsDeterministicAcrossThreadCounts) {
+  const exec::QuerySpec spec =
+      tpch::ScanQuerySpec("S", 64, 0.5, /*aggregate=*/true);
+  auto bound = exec::Bind(spec, db1_->catalog());
+  SMARTSSD_CHECK(bound.ok());
+  const storage::TableInfo& outer = *bound->outer;
+
+  // Pull the table's pages out through the buffer pool once.
+  std::vector<std::vector<std::byte>> pages;
+  for (std::uint64_t p = 0; p < outer.page_count; ++p) {
+    auto page = db1_->buffer_pool().GetPage(
+        outer.first_lpn + p, 0, outer.first_lpn + outer.page_count);
+    SMARTSSD_CHECK(page.ok());
+    pages.emplace_back(page.value().first.begin(),
+                       page.value().first.end());
+  }
+
+  auto run_scanner = [&](int threads) {
+    exec::MorselScanner scanner(&*bound, nullptr,
+                                exec::KernelMode::kVectorized,
+                                db1_->zone_map("S"), threads);
+    for (std::uint64_t p = 0; p < pages.size(); ++p) {
+      scanner.AddPage(p, pages[p]);
+    }
+    SMARTSSD_CHECK(scanner.Drain().ok());
+    exec::OpCounts counts;
+    for (std::size_t i = 0; i < scanner.pages_submitted(); ++i) {
+      counts += scanner.page_counts(i);
+    }
+    std::vector<std::byte> rows;
+    scanner.AppendRows(&rows);
+    SMARTSSD_CHECK(scanner.merged().Finish(&counts, &rows).ok());
+    return std::make_pair(counts, rows);
+  };
+
+  const auto [counts2, rows2] = run_scanner(2);
+  const auto [counts8, rows8] = run_scanner(8);
+  EXPECT_TRUE(counts2 == counts8);
+  EXPECT_EQ(rows2, rows8);
+
+  // And the serial PageProcessor grinds out the same bytes and counts.
+  exec::PageProcessor processor(&*bound, nullptr,
+                                exec::KernelMode::kVectorized);
+  processor.SetZoneMap(db1_->zone_map("S"));
+  exec::OpCounts serial_counts;
+  std::vector<std::byte> serial_rows;
+  for (std::uint64_t p = 0; p < pages.size(); ++p) {
+    SMARTSSD_CHECK(
+        processor.ProcessPage(pages[p], p, &serial_counts, &serial_rows)
+            .ok());
+  }
+  SMARTSSD_CHECK(processor.Finish(&serial_counts, &serial_rows).ok());
+  EXPECT_TRUE(serial_counts == counts2);
+  EXPECT_EQ(serial_rows, rows2);
+}
+
+}  // namespace
+}  // namespace smartssd::engine
