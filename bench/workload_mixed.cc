@@ -1,17 +1,24 @@
-// Workload-level view of query pushdown: an open-loop client stream of
-// TPC-H Q6 at increasing arrival rates, run entirely on the host path,
-// entirely as pushdown, and as a 50/50 mix. The paper argues per-query
-// (Figures 3/7); this sweep asks what the same device trade-off looks
-// like under load — pushdown's shorter service time pushes the knee of
-// the latency curve to a higher QPS, and past saturation the queue wait,
-// not the service time, dominates p99.
+// Workload-level view of query placement: an open-loop client stream of
+// TPC-H Q6 at increasing arrival rates, swept across the engine's
+// routing policies — both static pins (host, device), the planner's
+// cost model, the live-signal adaptive router, and always-split. The
+// paper argues per-query (Figures 3/7); this sweep asks what the same
+// device trade-off looks like under load. A pure strategy saturates at
+// its own path's service rate; the adaptive policy overflows to the
+// host when the device's session grants run dry and splits scans across
+// both sides under admission backlog, so its saturation throughput
+// strictly beats both pure strategies — the load-adaptive hybrid
+// placement result.
 //
-// Each (mode, qps) point runs on a cold database with a deliberately
+// Each (policy, qps) point runs on a cold database with a deliberately
 // small buffer pool (512 pages) so every scan pays flash reads, then
 // reports exact percentiles over the per-query latencies plus the mean
-// admission-queue wait. `--json=<path>` emits one row per point with
-// p95 latency as the headline number and achieved/offered throughput as
-// the measured ratio.
+// admission-queue wait. `--json=<path>` (CI writes BENCH_routing.json)
+// emits one row per point with p95 latency as the headline number and
+// achieved/offered throughput as the measured ratio, plus one
+// `saturation:<policy>` row per policy carrying the achieved QPS at the
+// top of the sweep. Everything runs on the virtual clock, so the
+// emitted numbers are byte-identical run-to-run.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "engine/database.h"
+#include "engine/metrics.h"
 #include "engine/workload.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
@@ -42,22 +50,24 @@ double PercentileSeconds(std::vector<SimDuration> sorted, double q) {
   return ToSeconds(sorted[rank - 1]);
 }
 
-struct Mode {
-  const char* name;
-  // Target for even-numbered clients; odd-numbered clients use
-  // `alt_target` (same value for the pure modes).
-  engine::ExecutionTarget target;
-  engine::ExecutionTarget alt_target;
+struct PointResult {
+  double achieved = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  double mean_queue_wait = 0;
+  int peak_in_flight = 0;
+  double splits = 0;        // queries that ran as split scans
+  double device_share = 0;  // fraction whose target was the device
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::PrintHeader(
-      "Mixed workload sweep: Q6 arrival rate vs latency, host vs "
-      "pushdown vs 50/50 mix",
+      "Routing-policy sweep: Q6 arrival rate vs latency and saturation "
+      "across static-host / static-device / cost-model / adaptive / "
+      "split placement",
       "extension of Section 5's concurrent-query discussion");
-  bench::JsonReporter reporter("workload_mixed", argc, argv);
+  bench::JsonReporter reporter("workload_routing", argc, argv);
 
   engine::DatabaseOptions options = engine::DatabaseOptions::PaperSmartSsd();
   options.buffer_pool_pages = 512;  // keep repeated scans cold
@@ -69,80 +79,128 @@ int main(int argc, char** argv) {
                                    storage::PageLayout::kPax),
                 "load B");
 
-  const Mode kModes[] = {
-      {"host", engine::ExecutionTarget::kHost,
-       engine::ExecutionTarget::kHost},
-      {"pushdown", engine::ExecutionTarget::kSmartSsd,
-       engine::ExecutionTarget::kSmartSsd},
-      {"mixed", engine::ExecutionTarget::kSmartSsd,
-       engine::ExecutionTarget::kHost},
+  const engine::PlacementPolicyKind kPolicies[] = {
+      engine::PlacementPolicyKind::kStaticHost,
+      engine::PlacementPolicyKind::kStaticDevice,
+      engine::PlacementPolicyKind::kCostModel,
+      engine::PlacementPolicyKind::kAdaptive,
+      engine::PlacementPolicyKind::kSplit,
   };
   // Q6 solo service time is ~0.044 s pushdown / ~0.073 s host at this
-  // scale factor, so this sweep crosses saturation for both paths.
+  // scale factor, so this sweep crosses saturation for every policy;
+  // the last rate is the saturation measurement point.
   const double kQps[] = {5, 10, 20, 40};
+  const double kSaturationQps = kQps[std::size(kQps) - 1];
 
-  std::printf("%-8s %6s | %8s %8s %8s | %9s %10s %6s\n", "mode", "qps",
-              "p50 s", "p95 s", "p99 s", "qwait s", "achieved", "peak");
+  std::printf("%-13s %6s | %8s %8s %8s | %9s %10s %5s %6s\n", "policy",
+              "qps", "p50 s", "p95 s", "p99 s", "qwait s", "achieved",
+              "split", "dev%");
   bench::PrintRule();
 
-  for (const Mode& mode : kModes) {
+  std::vector<std::pair<std::string, double>> saturation;
+  for (const engine::PlacementPolicyKind policy : kPolicies) {
+    const char* name = engine::PlacementPolicyName(policy);
+    PointResult last{};
     for (const double qps : kQps) {
       db.ResetForColdRun();
+      db.set_placement(policy);
       engine::WorkloadScheduler sched(&db);
       const auto gap = static_cast<SimDuration>(1e9 / qps);
-      // Two clients on distinct tables, interleaved arrivals: client B's
-      // stream is offset by half a gap so the combined stream arrives at
-      // `qps` with no simultaneous arrivals.
+      // Two clients on distinct tables, interleaved arrivals: client
+      // B's stream is offset by half a gap so the combined stream
+      // arrives at `qps` with no simultaneous arrivals. No pinned
+      // target — the policy under test routes every query.
       engine::WorkloadQueryConfig a;
       a.client = "client-a";
       a.spec = tpch::Q6Spec("lineitem_a");
-      a.target = mode.target;
       sched.AddOpenLoopClient(std::move(a), kQueriesPerPoint / 2,
                               /*inter_arrival=*/2 * gap,
                               /*first_arrival=*/0);
       engine::WorkloadQueryConfig b;
       b.client = "client-b";
       b.spec = tpch::Q6Spec("lineitem_b");
-      b.target = mode.alt_target;
       sched.AddOpenLoopClient(std::move(b), kQueriesPerPoint / 2,
                               /*inter_arrival=*/2 * gap,
                               /*first_arrival=*/gap);
       const std::vector<engine::CompletedQuery> records =
           bench::Unwrap(sched.Run(), "workload point");
 
+      PointResult point;
       std::vector<SimDuration> latencies;
       SimTime first_arrival = records.front().arrival;
       SimTime last_end = 0;
       double queue_wait = 0;
       for (const auto& r : records) {
         bench::Check(r.result.status(), "workload query");
+        const engine::QueryStats& stats = r.result.value().stats;
         latencies.push_back(r.latency());
         first_arrival = std::min(first_arrival, r.arrival);
         last_end = std::max(last_end, r.end);
         queue_wait += ToSeconds(r.queue_wait());
+        if (stats.split_scan) point.splits += 1;
+        if (stats.target == engine::ExecutionTarget::kSmartSsd) {
+          point.device_share += 1;
+        }
       }
       std::sort(latencies.begin(), latencies.end());
       const double span = ToSeconds(last_end - first_arrival);
-      const double achieved =
+      point.achieved =
           span > 0 ? static_cast<double>(records.size()) / span : 0;
-      const double p95 = PercentileSeconds(latencies, 0.95);
-      std::printf("%-8s %6.0f | %8.4f %8.4f %8.4f | %9.4f %7.1f/s %6d\n",
-                  mode.name, qps, PercentileSeconds(latencies, 0.50), p95,
-                  PercentileSeconds(latencies, 0.99),
-                  queue_wait / static_cast<double>(records.size()),
-                  achieved, sched.peak_in_flight());
+      point.p50 = PercentileSeconds(latencies, 0.50);
+      point.p95 = PercentileSeconds(latencies, 0.95);
+      point.p99 = PercentileSeconds(latencies, 0.99);
+      point.mean_queue_wait =
+          queue_wait / static_cast<double>(records.size());
+      point.peak_in_flight = sched.peak_in_flight();
+      point.device_share /= static_cast<double>(records.size());
+      last = point;
+
+      std::printf(
+          "%-13s %6.0f | %8.4f %8.4f %8.4f | %9.4f %7.1f/s %5.0f %5.0f%%\n",
+          name, qps, point.p50, point.p95, point.p99,
+          point.mean_queue_wait, point.achieved, point.splits,
+          100 * point.device_share);
       char config[64];
-      std::snprintf(config, sizeof config, "%s@%gqps", mode.name, qps);
-      reporter.Add(config, p95, NAN, achieved / qps);
+      std::snprintf(config, sizeof config, "%s@%gqps", name, qps);
+      reporter.AddWithCounters(
+          config, point.p95, NAN, point.achieved / qps,
+          {{"achieved_qps", point.achieved},
+           {"split_scans", point.splits},
+           {"device_share", point.device_share},
+           {"peak_in_flight",
+            static_cast<double>(point.peak_in_flight)}});
     }
+    // The last sweep point is past every policy's knee, so its achieved
+    // throughput is the policy's saturation rate.
+    saturation.emplace_back(name, last.achieved);
+    char config[64];
+    std::snprintf(config, sizeof config, "saturation:%s", name);
+    reporter.Add(config, last.achieved, NAN,
+                 last.achieved / kSaturationQps);
     bench::PrintRule();
   }
 
+  double host_sat = 0, device_sat = 0, adaptive_sat = 0;
+  for (const auto& [name, qps] : saturation) {
+    std::printf("saturation %-13s %6.1f queries/s\n", name.c_str(), qps);
+    if (name == "static-host") host_sat = qps;
+    if (name == "static-device") device_sat = qps;
+    if (name == "adaptive") adaptive_sat = qps;
+  }
   std::printf(
-      "Shape check: at low QPS every mode's p50 sits at its solo service "
-      "time; as the rate crosses a path's saturation point its queue "
-      "wait and tail latencies blow up first on the host path (longer "
-      "service time), later for pushdown, with the mix in between.\n");
+      "Shape check: the adaptive policy's saturation throughput "
+      "(%.1f/s) must strictly beat both pure strategies (host %.1f/s, "
+      "device %.1f/s) — under backlog it splits scans across both sides "
+      "and overflows to the host when session grants run dry, so it "
+      "drains the queue with host and device working concurrently.\n",
+      adaptive_sat, host_sat, device_sat);
+  if (adaptive_sat <= host_sat || adaptive_sat <= device_sat) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive saturation %.2f/s does not beat both "
+                 "pure strategies (host %.2f/s, device %.2f/s)\n",
+                 adaptive_sat, host_sat, device_sat);
+    return 1;
+  }
   reporter.Write();
   return 0;
 }

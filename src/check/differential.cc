@@ -151,6 +151,19 @@ class DifferentialRunner {
     spill3.join_spill.budget_bytes = 4096;
     db_spill2_ = std::make_unique<Database>(spill2);
     db_spill3_ = std::make_unique<Database>(spill3);
+
+    // Placement axis: the split policy fragments each eligible scan
+    // across the host and device halves and merges the partials, on an
+    // unpruned NSM database — so its OpCounts must equal the monolithic
+    // reference exactly (fragmentation is pure scheduling, never
+    // semantics). The adaptive policy runs on PAX with a zone map and
+    // is compared rows-only, like the other pruned configs.
+    DatabaseOptions split_opts = base;
+    split_opts.placement = engine::PlacementPolicyKind::kSplit;
+    DatabaseOptions adapt_opts = base;
+    adapt_opts.placement = engine::PlacementPolicyKind::kAdaptive;
+    db_split_ = std::make_unique<Database>(split_opts);
+    db_adapt_ = std::make_unique<Database>(adapt_opts);
     SMARTSSD_CHECK(
         LoadTables(*db_ref_, gen_.tables, storage::PageLayout::kNsm).ok());
     SMARTSSD_CHECK(
@@ -166,10 +179,17 @@ class DifferentialRunner {
     SMARTSSD_CHECK(
         LoadTables(*db_spill3_, gen_.tables, storage::PageLayout::kNsm)
             .ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_split_, gen_.tables, storage::PageLayout::kNsm)
+            .ok());
+    SMARTSSD_CHECK(
+        LoadTables(*db_adapt_, gen_.tables, storage::PageLayout::kPax)
+            .ok());
     // The reference database keeps NO zone map: it is the unpruned
     // ground truth a broken pruning path must disagree with.
     SMARTSSD_CHECK(db_nsm_->BuildZoneMap(kOuterTable).ok());
     SMARTSSD_CHECK(db_pax_->BuildZoneMap(kOuterTable).ok());
+    SMARTSSD_CHECK(db_adapt_->BuildZoneMap(kOuterTable).ok());
 
     par1_ = std::make_unique<ParallelDatabase>(1, base);
     par2_ = std::make_unique<ParallelDatabase>(2, base);
@@ -239,6 +259,8 @@ class DifferentialRunner {
     db_pax_->AttachTracer(&tracer_pax_, "pax-dev", "pax-host");
     db_spill2_->AttachTracer(&tracer_spill2_, "sp2-dev", "sp2-host");
     db_spill3_->AttachTracer(&tracer_spill3_, "sp3-dev", "sp3-host");
+    db_split_->AttachTracer(&tracer_split_, "spl-dev", "spl-host");
+    db_adapt_->AttachTracer(&tracer_adapt_, "adp-dev", "adp-host");
     fleet3_->AttachTracer(&tracer_fleet3_);
     fleet_het2_->AttachTracer(&tracer_fleet2_);
   }
@@ -345,6 +367,9 @@ class DifferentialRunner {
       // drops/doubles a probe across passes) fails here even when the
       // output bytes happen to survive.
       bool compare_counts = false;
+      // Route through the database's placement policy (ExecuteAuto)
+      // instead of a pinned target; `target` is ignored then.
+      bool auto_target = false;
     };
     std::vector<SingleConfig> singles = {
         {"nsm-host", db_nsm_.get(), &tracer_nsm_, ExecutionTarget::kHost,
@@ -359,6 +384,18 @@ class DifferentialRunner {
          ExecutionTarget::kSmartSsd, std::nullopt, true},
         {"nsm-spill3-smart", db_spill3_.get(), &tracer_spill3_,
          ExecutionTarget::kSmartSsd, std::nullopt, true},
+        // The split policy fragments the scan across both sides and
+        // merges partials: results AND OpCounts must equal the unpruned
+        // monolithic reference exactly. Specs a split cannot serve
+        // (joins, top-N, single-page tables) fall back to whole-query
+        // cost-model routing inside the policy, so every generated spec
+        // still runs — and still has to match.
+        {"nsm-split-smart", db_split_.get(), &tracer_split_,
+         ExecutionTarget::kHost, std::nullopt, true, true},
+        // Adaptive routing over PAX + zone map: whatever side (or both)
+        // the live signals pick, rows must match the ground truth.
+        {"pax-adaptive-smart", db_adapt_.get(), &tracer_adapt_,
+         ExecutionTarget::kHost, std::nullopt, false, true},
     };
     if (options_.with_faults) {
       const std::size_t n = std::size(kFaultRotation);
@@ -386,7 +423,8 @@ class DifferentialRunner {
       if (config.fault.has_value()) schedule = MakeSchedule(*config.fault);
       auto out = RunSingle(*config.db, *config.tracer, spec, config.target,
                            config.name,
-                           config.fault.has_value() ? &schedule : nullptr);
+                           config.fault.has_value() ? &schedule : nullptr,
+                           config.auto_target);
       if (!out.ok()) {
         return std::make_pair(std::string(config.name),
                               out.status().ToString());
@@ -614,7 +652,8 @@ class DifferentialRunner {
                                     const exec::QuerySpec& spec,
                                     ExecutionTarget target,
                                     const char* config,
-                                    const sim::FaultSchedule* faults) {
+                                    const sim::FaultSchedule* faults,
+                                    bool auto_target = false) {
     ++executions_;
     db.ResetForColdRun();
     tracer.Clear();
@@ -622,7 +661,9 @@ class DifferentialRunner {
       db.ssd()->fault_injector().Load(*faults);
     }
     QueryExecutor executor(&db);
-    Result<engine::QueryResult> result = executor.Execute(spec, target);
+    Result<engine::QueryResult> result =
+        auto_target ? executor.ExecuteAuto(spec)
+                    : executor.Execute(spec, target);
     if (db.ssd() != nullptr) db.ssd()->fault_injector().Clear();
     SMARTSSD_RETURN_IF_ERROR(result.status());
     if (result->stats.fell_back) ++fallbacks_;
@@ -711,6 +752,8 @@ class DifferentialRunner {
   std::unique_ptr<Database> db_pax_;
   std::unique_ptr<Database> db_spill2_;
   std::unique_ptr<Database> db_spill3_;
+  std::unique_ptr<Database> db_split_;
+  std::unique_ptr<Database> db_adapt_;
   std::unique_ptr<ParallelDatabase> par1_;
   std::unique_ptr<ParallelDatabase> par2_;
   std::unique_ptr<ParallelDatabase> par4_;
@@ -728,6 +771,8 @@ class DifferentialRunner {
   obs::Tracer tracer_pax_;
   obs::Tracer tracer_spill2_;
   obs::Tracer tracer_spill3_;
+  obs::Tracer tracer_split_;
+  obs::Tracer tracer_adapt_;
   obs::Tracer tracer_fleet3_;
   obs::Tracer tracer_fleet2_;
   int executions_ = 0;

@@ -9,6 +9,10 @@
 //   * pushdown under tiny join memory budgets (12 KiB and 4 KiB), so
 //     joins run the hybrid spill path with 2 and 3 passes — results
 //     AND OpCounts must match the unconstrained reference exactly,
+//   * placement policies: split-scan execution (each eligible scan
+//     fragments across host and device, partials merged — results AND
+//     OpCounts must equal the unpruned monolithic reference) and
+//     adaptive routing over PAX + zone map,
 //   * ParallelDatabase with 1, 2, and 4 workers (pushdown),
 //   * pushdown with an injected device fault (rotating fault kinds),
 //     exercising retry, degraded host fallback, and the breaker —

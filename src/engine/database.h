@@ -69,6 +69,12 @@ struct DatabaseOptions {
   // table cannot fit free device DRAM derives a budget instead of
   // falling off the old routing cliff (see ResolveJoinBudget).
   exec::HybridJoinConfig join_spill;
+  // Routing policy applied when a query is submitted without an
+  // explicit execution target (ExecuteAuto, scheduler clients without a
+  // pinned target). kCostModel is the planner's historical
+  // estimate-based host/device choice; see engine/placement.h for the
+  // static, adaptive, and split policies.
+  PlacementPolicyKind placement = PlacementPolicyKind::kCostModel;
 
   // The paper's three storage configurations (Section 4.1.2), identical
   // host, differing only in the device behind the HBA.
@@ -109,6 +115,12 @@ class Database {
   HostMachine& host() { return *host_; }
   const HostMachine& host() const { return *host_; }
   const DatabaseOptions& options() const { return options_; }
+  // Swaps the routing policy on a live database. The policy only feeds
+  // plan-time decisions, so benches sweep it across measurement points
+  // on one loaded database instead of re-loading per policy.
+  void set_placement(PlacementPolicyKind placement) {
+    options_.placement = placement;
+  }
 
   // Bulk-loads a table (see TableLoader). `reserve_extra_pages` leaves
   // extent headroom for appends.

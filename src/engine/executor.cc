@@ -22,15 +22,14 @@ Result<QueryResult> QueryExecutor::Execute(const exec::QuerySpec& spec,
 Result<QueryResult> QueryExecutor::ExecuteAuto(const exec::QuerySpec& spec,
                                                const PlanHints& hints,
                                                SimTime start) {
-  SMARTSSD_ASSIGN_OR_RETURN(const exec::BoundQuery bound,
-                            exec::Bind(spec, db_->catalog()));
-  PushdownPlanner planner(db_);
-  SMARTSSD_ASSIGN_OR_RETURN(const PlanDecision decision,
-                            planner.Decide(bound, hints, start));
-  if (decision.target == ExecutionTarget::kSmartSsd) {
-    return ExecuteDeviceWithFallback(bound, start);
-  }
-  return ExecuteOnHost(bound, start);
+  // Routed by the database's placement policy (DatabaseOptions::
+  // placement) through the resumable QueryTask, so split placements
+  // work from the blocking path too. Under the default kCostModel
+  // policy the task issues the identical Bind + planner.Decide +
+  // host/device sequence this function historically inlined.
+  QueryTask task(db_, &spec, hints, start, /*wait_for_grant=*/false);
+  while (!task.finished()) task.Step();
+  return task.TakeResult();
 }
 
 // The blocking entry points drive the resumable tasks to completion in a

@@ -18,6 +18,35 @@ inline const char* ExecutionTargetName(ExecutionTarget target) {
   return target == ExecutionTarget::kHost ? "host" : "smart-ssd";
 }
 
+// How the engine decides, per query, where the scan runs. kCostModel is
+// the planner's historical estimate-based choice (the default);
+// kAdaptive consults live scheduler/obs signals and may split one scan
+// across both sides; kSplit always splits eligible scans by the cost
+// model's host/device ratio. See engine/placement.h.
+enum class PlacementPolicyKind {
+  kStaticHost,
+  kStaticDevice,
+  kCostModel,
+  kAdaptive,
+  kSplit,
+};
+
+inline const char* PlacementPolicyName(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kStaticHost:
+      return "static-host";
+    case PlacementPolicyKind::kStaticDevice:
+      return "static-device";
+    case PlacementPolicyKind::kCostModel:
+      return "cost-model";
+    case PlacementPolicyKind::kAdaptive:
+      return "adaptive";
+    case PlacementPolicyKind::kSplit:
+      return "split";
+  }
+  return "unknown";
+}
+
 // Per-stage virtual busy time attributable to one query: the delta of
 // every pipeline resource's accumulated busy time over the query's
 // lifetime (the same occupancy the tracer records as spans, summed).
@@ -81,6 +110,13 @@ struct QueryStats {
   bool fell_back = false;
   std::uint32_t device_attempts = 0;
   std::string fallback_reason;
+
+  // Split-scan execution: the scan ran as `fragments` page-range
+  // fragments placed independently on host/device, with partials merged
+  // in fragment order. `target` then reports kSmartSsd when any
+  // fragment ran on the device.
+  bool split_scan = false;
+  std::uint32_t fragments = 0;
 
   // Busy-time deltas per pipeline stage (device stages stay zero on the
   // HDD configuration and on warm runs served from the buffer pool).

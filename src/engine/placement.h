@@ -1,0 +1,88 @@
+#ifndef SMARTSSD_ENGINE_PLACEMENT_H_
+#define SMARTSSD_ENGINE_PLACEMENT_H_
+
+// Placement: where a query's scan runs. The historical decision — host
+// or device, chosen once by the pushdown planner's cost model — is one
+// policy here (kCostModel, the default). The others either pin a side
+// (kStaticHost / kStaticDevice), always split eligible scans by the
+// cost model's host/device ratio (kSplit), or consult live scheduler
+// signals to route each query and split under backlog (kAdaptive).
+//
+// A split scan becomes an ordered list of ScanFragments — contiguous
+// page ranges of the outer table, each independently placeable — whose
+// partial results merge in fixed fragment order through
+// engine/partial_merge. Every signal a policy reads lives on the
+// virtual clock (grant pool occupancy, breaker state, admission-queue
+// histograms), so a fixed arrival trace yields byte-identical routing
+// decisions and results run-to-run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "engine/planner.h"
+#include "exec/query_spec.h"
+
+namespace smartssd::engine {
+
+// One placeable unit of a scan: pages [first_page, first_page +
+// page_count) of the outer table, routed to one side. Fragment order is
+// page order; the merge consumes partials in that order.
+struct ScanFragment {
+  std::uint64_t first_page = 0;
+  std::uint64_t page_count = 0;
+  ExecutionTarget target = ExecutionTarget::kHost;
+};
+
+// Live load signals a policy may consult, all deterministic on the
+// virtual clock. A scheduler exposes them through SignalSource; solo
+// (blocking) execution passes none and the defaults mean "idle".
+struct LiveSignals {
+  std::uint64_t in_flight = 0;        // queries admitted, not yet done
+  std::uint64_t queue_depth = 0;      // arrivals waiting for admission
+  std::uint64_t queue_wait_count = 0;  // completed-query queue waits seen
+  double queue_wait_p95_ns = 0;
+};
+
+class SignalSource {
+ public:
+  virtual ~SignalSource() = default;
+  virtual LiveSignals Signals() const = 0;
+};
+
+struct PlacementDecision {
+  ExecutionTarget target = ExecutionTarget::kHost;
+  // When set, run the scan as `fragments` (ordered by page range) and
+  // merge partials; `target` then summarizes as kSmartSsd when any
+  // fragment goes to the device.
+  bool split = false;
+  std::vector<ScanFragment> fragments;
+  std::string reason;
+};
+
+// True when the query's scan can run as independently placed fragments
+// with exact OpCounts reassembly: no join (the hybrid join does real
+// finish-time work per fragment), no top-N (its finish emission charge
+// depends on per-fragment heap contents), at least two outer pages, and
+// scatter-gather-mergeable. Ineligible queries fall back to whole-query
+// routing, so every spec shape stays executable under every policy.
+bool SplittableScan(const exec::BoundQuery& bound);
+
+// Applies `policy` to one query at virtual time `now`. `signals` may be
+// null (blocking executors). Policies that may touch the device check
+// hard eligibility (smart runtime, dirty pages, join DRAM fit) and the
+// circuit breaker up front, so a known-bad device is excluded before
+// dispatch rather than discovered via fallback.
+Result<PlacementDecision> DecidePlacement(Database* db,
+                                          const exec::BoundQuery& bound,
+                                          const PlanHints& hints,
+                                          PlacementPolicyKind policy,
+                                          SimTime now,
+                                          const SignalSource* signals);
+
+}  // namespace smartssd::engine
+
+#endif  // SMARTSSD_ENGINE_PLACEMENT_H_

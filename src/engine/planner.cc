@@ -212,6 +212,37 @@ double PushdownPlanner::EstimateSmartSeconds(const exec::BoundQuery& bound,
   return std::max({io_s + spill_s, cpu_s, transfer_s});
 }
 
+std::optional<std::string> PushdownPlanner::DeviceConstraint(
+    const exec::BoundQuery& bound) const {
+  if (!db_->smart_capable()) {
+    return "device has no Smart SSD runtime";
+  }
+  const BufferPool& pool = db_->buffer_pool();
+  const storage::TableInfo& outer = *bound.outer;
+  if (pool.HasDirtyInRange(outer.first_lpn, outer.page_count) ||
+      (bound.inner != nullptr &&
+       pool.HasDirtyInRange(bound.inner->first_lpn,
+                            bound.inner->page_count))) {
+    return "coherence: dirty pages of this table in the buffer pool";
+  }
+  if (bound.spec->join.has_value()) {
+    const std::uint64_t table_bytes = exec::JoinHashTable::EstimateBytes(
+        bound.inner->tuple_count, bound.payload_width);
+    const std::uint64_t budget = ResolveJoinBudget(*db_, bound);
+    const bool hybrid = budget > 0 && table_bytes > budget;
+    if (hybrid && budget < kMinJoinBudgetBytes) {
+      return "join budget below the hybrid spill floor";
+    }
+    const std::uint64_t resident =
+        (hybrid ? budget : table_bytes) + 2ull * 1024 * 1024;
+    if (resident > db_->ssd()->device_dram_free()) {
+      return hybrid ? "join budget exceeds device DRAM"
+                    : "join hash table exceeds device DRAM";
+    }
+  }
+  return std::nullopt;
+}
+
 Result<PlanDecision> PushdownPlanner::Decide(const exec::BoundQuery& bound,
                                              const PlanHints& hints,
                                              SimTime now) const {

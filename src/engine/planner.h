@@ -1,6 +1,7 @@
 #ifndef SMARTSSD_ENGINE_PLANNER_H_
 #define SMARTSSD_ENGINE_PLANNER_H_
 
+#include <optional>
 #include <string>
 
 #include "common/macros.h"
@@ -77,6 +78,14 @@ class PushdownPlanner {
                              const PlanHints& hints) const;
   double EstimateSmartSeconds(const exec::BoundQuery& bound,
                               const PlanHints& hints) const;
+
+  // The hard device-eligibility constraints of Decide() — rules 1, 2,
+  // and 4, without the breaker's (mutating) bypass check or the cost
+  // heuristics — as a pure predicate for the placement layer's
+  // adaptive/split policies. Returns the refusal reason, or nullopt
+  // when the device may legally run the query.
+  std::optional<std::string> DeviceConstraint(
+      const exec::BoundQuery& bound) const;
 
  private:
   exec::OpCounts EstimateCounts(const exec::BoundQuery& bound,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/fallback_reason.h"
+#include "engine/partial_merge.h"
 
 namespace smartssd::engine {
 
@@ -33,9 +34,33 @@ Status DecodeAggValues(const exec::BoundQuery& bound,
 
 HostQueryTask::HostQueryTask(Database* db, const exec::BoundQuery* bound,
                              SimTime start)
-    : db_(db), bound_(bound), start_(start), tracer_(db->tracer()) {
+    : HostQueryTask(db, bound, start, 0, ~0ull, /*partial=*/false) {}
+
+HostQueryTask::HostQueryTask(Database* db, const exec::BoundQuery* bound,
+                             SimTime start, std::uint64_t first_page,
+                             std::uint64_t page_count, bool partial)
+    : db_(db),
+      bound_(bound),
+      start_(start),
+      tracer_(db->tracer()),
+      partial_(partial) {
   SMARTSSD_CHECK(db != nullptr);
   SMARTSSD_CHECK(bound != nullptr);
+  const std::uint64_t table_pages = bound->outer->page_count;
+  scan_begin_ = std::min(first_page, table_pages);
+  scan_end_ = page_count >= table_pages - scan_begin_
+                  ? table_pages
+                  : scan_begin_ + page_count;
+  page_ = scan_begin_;
+  // Partial fragments never run joins: the build would repeat per
+  // fragment and double-charge, and the hybrid join does real work at
+  // Finish() that partial mode suppresses.
+  SMARTSSD_CHECK(!partial_ || !bound->spec->join.has_value());
+}
+
+bool HostQueryTask::Fragmented() const {
+  return partial_ || scan_begin_ != 0 ||
+         scan_end_ != bound_->outer->page_count;
 }
 
 HostQueryTask::~HostQueryTask() { CloseSpanForError(); }
@@ -160,7 +185,8 @@ StepOutcome HostQueryTask::StepBuildFinish() {
 StepOutcome HostQueryTask::StepPrepareScan() {
   obs::ScopeGuard scope(tracer_, span_id_);
   const bool use_morsels = db_->options().host_threads > 1 &&
-                           exec::MorselScanner::Eligible(*bound_);
+                           exec::MorselScanner::Eligible(*bound_) &&
+                           !Fragmented();
   if (!use_morsels) {
     processor_.emplace(bound_,
                        hash_table_.has_value() ? &*hash_table_ : nullptr,
@@ -182,8 +208,11 @@ StepOutcome HostQueryTask::StepPrepareScan() {
     }
     if (!prune_ranges_.empty()) {
       // Checking the (host-cached) statistics costs a few cycles/page.
-      end_ = std::max(end_, db_->host().Execute(outer.page_count * 2,
-                                                start_, "zone check"));
+      // Fragments check only their own range, so per-fragment charges
+      // sum to the monolithic whole-table charge.
+      end_ = std::max(end_,
+                      db_->host().Execute((scan_end_ - scan_begin_) * 2,
+                                          start_, "zone check"));
     }
   }
   // Arm the batch-skip fast paths with the same statistics: pages that
@@ -216,7 +245,7 @@ StepOutcome HostQueryTask::StepScan() {
     processor_->SetZoneMap(zone_map_);
     armed_zone_map_ = zone_map_;
   }
-  while (page_ < outer.page_count) {
+  while (page_ < scan_end_) {
     bool may_match = true;
     if (zone_map_ != nullptr) {
       for (const auto& [col, range] : prune_ranges_) {
@@ -281,7 +310,7 @@ StepOutcome HostQueryTask::StepScanMorsel() {
   // recorded so the virtual-time replay below can issue the exact
   // host().Execute() sequence the serial loop would have.
   std::vector<SimTime> io_done;
-  for (; page_ < outer.page_count; ++page_) {
+  for (; page_ < scan_end_; ++page_) {
     bool may_match = true;
     if (zone_map_ != nullptr) {
       for (const auto& [col, range] : prune_ranges_) {
@@ -346,7 +375,10 @@ StepOutcome HostQueryTask::StepFinish() {
       exec::Cycles(final_counts, host_params_, outer.schema.num_columns(),
                    hash_entries_);
   end_ = db_->host().Execute(final_cycles, end_, "finalize");
-  stats.counts += final_counts;
+  // Partial fragments report body-only counts: the split coordinator
+  // charges the canonical finish emission over the merged result once,
+  // so per-fragment counts sum exactly to the monolithic run's.
+  if (!partial_) stats.counts += final_counts;
   stats.host_cycles += final_cycles;
   if (tracer_ != nullptr) {
     tracer_->Complete(db_->executor_track(), "finish", "phase",
@@ -357,8 +389,12 @@ StepOutcome HostQueryTask::StepFinish() {
   stats.output_rows = result_.row_count();
   stats.output_bytes = result_.rows.size();
   stats.stage = db_->StageSnapshot() - stage_before_;
-  db_->metrics().counter("engine.queries")->Add();
-  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (!partial_) {
+    // Per-query instruments count whole queries; the coordinator bumps
+    // them once for the merged query.
+    db_->metrics().counter("engine.queries")->Add();
+    db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  }
   if (tracer_ != nullptr) {
     tracer_->End(span_id_, end_,
                  {obs::Arg::Str("target", "host"),
@@ -380,15 +416,28 @@ DeviceQueryTask::DeviceQueryTask(Database* db,
                                  const exec::BoundQuery* bound,
                                  SimTime start, bool fallback,
                                  bool wait_for_grant)
+    : DeviceQueryTask(db, bound, start, fallback, wait_for_grant, 0, ~0ull,
+                      /*partial=*/false) {}
+
+DeviceQueryTask::DeviceQueryTask(Database* db,
+                                 const exec::BoundQuery* bound,
+                                 SimTime start, bool fallback,
+                                 bool wait_for_grant,
+                                 std::uint64_t first_page,
+                                 std::uint64_t page_count, bool partial)
     : db_(db),
       bound_(bound),
       start_(start),
       fallback_(fallback),
       wait_for_grant_(wait_for_grant),
+      frag_first_(first_page),
+      frag_pages_(page_count),
+      partial_(partial),
       tracer_(db->tracer()),
       failed_at_(start) {
   SMARTSSD_CHECK(db != nullptr);
   SMARTSSD_CHECK(bound != nullptr);
+  SMARTSSD_CHECK(!partial_ || !bound->spec->join.has_value());
 }
 
 DeviceQueryTask::~DeviceQueryTask() { CloseSpanForError(); }
@@ -475,7 +524,8 @@ StepOutcome DeviceQueryTask::StepStart() {
   }
   program_.emplace(bound_,
                    device_zone_map_.has_value() ? &*device_zone_map_ : nullptr,
-                   db_->options().kernel, spill, db_->device().page_size());
+                   db_->options().kernel, spill, db_->device().page_size(),
+                   frag_first_, frag_pages_);
   session_ = db_->runtime()->StartSession(*program_, db_->options().polling,
                                           start_, &result_.rows);
   state_ = State::kSession;
@@ -506,7 +556,8 @@ StepOutcome DeviceQueryTask::StepSession() {
       db_->metrics().counter("engine.fallbacks")->Add();
       fell_back_ = true;
       redispatched_without_attempt_ = true;
-      host_rerun_.emplace(db_, bound_, start_);
+      host_rerun_.emplace(db_, bound_, start_, frag_first_, frag_pages_,
+                          partial_);
       state_ = State::kHostRerun;
       return {.at = start_};
     }
@@ -529,7 +580,11 @@ StepOutcome DeviceQueryTask::StepSession() {
   stats.session = session;
   stats.end = session.close_done;
   stats.embedded_cycles = session.embedded_cycles;
-  stats.counts = program_->counts();
+  // Partial fragments report body-only counts (see HostQueryTask): the
+  // split coordinator synthesizes the canonical finish charge over the
+  // merged result.
+  stats.counts =
+      partial_ ? program_->CountsExcludingFinish() : program_->counts();
   stats.join_spill = program_->hybrid_stats();
   stats.pages_read = session.pages_processed;
   stats.pages_skipped = program_->pages_skipped();
@@ -540,8 +595,10 @@ StepOutcome DeviceQueryTask::StepSession() {
   stats.output_rows = result_.row_count();
   stats.output_bytes = result_.rows.size();
   stats.stage = db_->StageSnapshot() - stage_before_;
-  db_->metrics().counter("engine.queries")->Add();
-  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (!partial_) {
+    db_->metrics().counter("engine.queries")->Add();
+    db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  }
   if (tracer_ != nullptr) {
     tracer_->End(span_id_, stats.end,
                  {obs::Arg::Str("target", "smart-ssd"),
@@ -580,7 +637,8 @@ StepOutcome DeviceQueryTask::HandleDeviceError(const Status& error) {
   // the failed session was torn down, so the timeline stays consistent
   // and the results stay byte-identical to a clean pushdown.
   fell_back_ = true;
-  host_rerun_.emplace(db_, bound_, std::max(start_, failed_at_));
+  host_rerun_.emplace(db_, bound_, std::max(start_, failed_at_),
+                      frag_first_, frag_pages_, partial_);
   state_ = State::kHostRerun;
   return {.at = std::max(start_, failed_at_)};
 }
@@ -608,6 +666,193 @@ StepOutcome DeviceQueryTask::StepHostRerun() {
 }
 
 // ---------------------------------------------------------------------------
+// SplitScanTask
+
+SplitScanTask::SplitScanTask(Database* db, const exec::BoundQuery* bound,
+                             const std::vector<ScanFragment>& fragments,
+                             SimTime start, bool wait_for_grant)
+    : db_(db), bound_(bound), start_(start), end_(start) {
+  SMARTSSD_CHECK(db != nullptr);
+  SMARTSSD_CHECK(bound != nullptr);
+  SMARTSSD_CHECK(!fragments.empty());
+  SMARTSSD_CHECK(!bound->spec->join.has_value());
+  stage_before_ = db->StageSnapshot();
+  for (const ScanFragment& placement : fragments) {
+    Fragment& fragment = fragments_.emplace_back();
+    fragment.placement = placement;
+    fragment.ready = start;
+    if (placement.target == ExecutionTarget::kSmartSsd) {
+      fragment.device.emplace(db, bound, start, /*fallback=*/true,
+                              wait_for_grant, placement.first_page,
+                              placement.page_count, /*partial=*/true);
+    } else {
+      fragment.host.emplace(db, bound, start, placement.first_page,
+                            placement.page_count, /*partial=*/true);
+    }
+  }
+}
+
+Result<QueryResult> SplitScanTask::TakeResult() {
+  SMARTSSD_CHECK(finished());
+  SMARTSSD_CHECK(final_result_.has_value());
+  return std::move(*final_result_);
+}
+
+StepOutcome SplitScanTask::StepFragment(Fragment& fragment) {
+  return fragment.host.has_value() ? fragment.host->Step()
+                                   : fragment.device->Step();
+}
+
+StepOutcome SplitScanTask::Step() {
+  SMARTSSD_CHECK(!done_);
+  for (;;) {
+    // Earliest-ready unfinished, unparked fragment; lowest index breaks
+    // ties. Deterministic: ready times are virtual, order is fixed.
+    Fragment* next = nullptr;
+    bool any_unfinished = false;
+    bool have_parked = false;
+    SimTime parked_at = 0;
+    for (Fragment& fragment : fragments_) {
+      if (fragment.done) continue;
+      any_unfinished = true;
+      if (fragment.parked) {
+        if (!have_parked || fragment.ready < parked_at) {
+          parked_at = fragment.ready;
+        }
+        have_parked = true;
+        continue;
+      }
+      if (next == nullptr || fragment.ready < next->ready) next = &fragment;
+    }
+    if (!any_unfinished) return Merge();
+    if (next == nullptr) {
+      // Every remaining fragment waits on a device session grant.
+      // Surface that to the scheduler; clear the park marks so the next
+      // Step() (after a grant frees or the breaker opens) retries them.
+      for (Fragment& fragment : fragments_) fragment.parked = false;
+      return {.at = parked_at, .waiting_for_grant = true};
+    }
+    const StepOutcome outcome = StepFragment(*next);
+    next->ready = std::max(outcome.at, next->ready);
+    if (outcome.waiting_for_grant) {
+      // Other fragments may still have work: park just this one and
+      // pick again.
+      next->parked = true;
+      continue;
+    }
+    if (outcome.finished) {
+      next->done = true;
+      next->result = next->host.has_value() ? next->host->TakeResult()
+                                            : next->device->TakeResult();
+      end_ = std::max(end_, outcome.at);
+      bool all_done = true;
+      for (const Fragment& fragment : fragments_) {
+        if (!fragment.done) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) return Merge();
+    }
+    return {.at = outcome.at};
+  }
+}
+
+StepOutcome SplitScanTask::Merge() {
+  done_ = true;
+  // First failure in fragment order wins — deterministic regardless of
+  // which fragment's execution failed first on the timeline.
+  for (Fragment& fragment : fragments_) {
+    if (!fragment.result->ok()) {
+      final_result_ = std::move(*fragment.result);
+      return {.at = std::max(start_, end_), .finished = true};
+    }
+  }
+
+  QueryResult result;
+  Result<storage::Schema> output_schema = OutputSchema(*bound_);
+  if (!output_schema.ok()) {
+    final_result_ = output_schema.status();
+    return {.at = std::max(start_, end_), .finished = true};
+  }
+  result.output_schema = std::move(output_schema.value());
+
+  std::vector<const QueryResult*> partials;
+  partials.reserve(fragments_.size());
+  for (const Fragment& fragment : fragments_) {
+    partials.push_back(&fragment.result->value());
+  }
+  MergedPartials merged =
+      MergePartialResults(*bound_->spec, result.output_schema, partials);
+  result.rows = std::move(merged.rows);
+  result.agg_values = std::move(merged.agg_values);
+
+  QueryStats& stats = result.stats;
+  stats.query_name = bound_->spec->name;
+  stats.device_name = std::string(db_->device().name());
+  stats.layout = bound_->outer->layout;
+  stats.start = start_;
+  stats.split_scan = true;
+  stats.fragments = static_cast<std::uint32_t>(fragments_.size());
+  bool any_device = false;
+  for (const Fragment& fragment : fragments_) {
+    const QueryStats& child = fragment.result->value().stats;
+    stats.counts += child.counts;
+    stats.pages_read += child.pages_read;
+    stats.pages_skipped += child.pages_skipped;
+    stats.bytes_over_host_link += child.bytes_over_host_link;
+    stats.host_cycles += child.host_cycles;
+    stats.embedded_cycles += child.embedded_cycles;
+    stats.device_attempts += child.device_attempts;
+    stats.fell_back |= child.fell_back;
+    if (child.fell_back && stats.fallback_reason.empty()) {
+      stats.fallback_reason = child.fallback_reason;
+    }
+    any_device |= child.target == ExecutionTarget::kSmartSsd;
+  }
+  stats.target =
+      any_device ? ExecutionTarget::kSmartSsd : ExecutionTarget::kHost;
+
+  // Canonical finish emission over the merged result — exactly what the
+  // monolithic Finish() charges: one OpCount/byte per emitted output row
+  // for aggregation shapes, nothing for plain projections. The
+  // fragments excluded their own finish emission, so adding this once
+  // makes total counts byte-identical to the monolithic run.
+  exec::OpCounts finish_counts;
+  if (!bound_->spec->aggregates.empty()) {
+    finish_counts.output_tuples = result.row_count();
+    finish_counts.output_bytes = result.rows.size();
+  }
+  stats.counts += finish_counts;
+
+  // Coordinator cost: touch every partial row once (the scatter-gather
+  // merge charge) plus the canonical finish emission on the host CPU.
+  const SimTime merge_started = end_;
+  const std::uint64_t merge_cycles =
+      MergeCostCycles(merged.input_rows, merged.input_bytes) +
+      exec::Cycles(finish_counts,
+                   exec::HostCostParams(bound_->outer->layout),
+                   bound_->outer->schema.num_columns(), 0);
+  end_ = db_->host().Execute(merge_cycles, end_, "split merge");
+  stats.host_cycles += merge_cycles;
+
+  stats.end = end_;
+  stats.output_rows = result.row_count();
+  stats.output_bytes = result.rows.size();
+  stats.stage = db_->StageSnapshot() - stage_before_;
+  db_->metrics().counter("engine.queries")->Add();
+  db_->metrics().histogram("engine.query_ns")->Record(stats.elapsed());
+  if (obs::Tracer* tracer = db_->tracer(); tracer != nullptr) {
+    tracer->Complete(
+        db_->executor_track(), "split merge", "phase", merge_started, end_,
+        {obs::Arg::Uint("fragments", fragments_.size()),
+         obs::Arg::Uint("rows", stats.output_rows)});
+  }
+  final_result_ = std::move(result);
+  return {.at = end_, .finished = true};
+}
+
+// ---------------------------------------------------------------------------
 // QueryTask
 
 QueryTask::QueryTask(Database* db, const exec::QuerySpec* spec,
@@ -624,12 +869,13 @@ QueryTask::QueryTask(Database* db, const exec::QuerySpec* spec,
 
 QueryTask::QueryTask(Database* db, const exec::QuerySpec* spec,
                      const PlanHints& hints, SimTime start,
-                     bool wait_for_grant)
+                     bool wait_for_grant, const SignalSource* signals)
     : db_(db),
       spec_(spec),
       start_(start),
       wait_for_grant_(wait_for_grant),
-      hints_(hints) {
+      hints_(hints),
+      signals_(signals) {
   SMARTSSD_CHECK(db != nullptr);
   SMARTSSD_CHECK(spec != nullptr);
 }
@@ -638,6 +884,7 @@ Result<QueryResult> QueryTask::TakeResult() {
   SMARTSSD_CHECK(finished());
   if (final_result_.has_value()) return std::move(*final_result_);
   if (host_task_.has_value()) return host_task_->TakeResult();
+  if (split_task_.has_value()) return split_task_->TakeResult();
   return device_task_->TakeResult();
 }
 
@@ -650,32 +897,40 @@ StepOutcome QueryTask::Step() {
       return {.at = start_, .finished = true};
     }
     bound_.emplace(std::move(bound.value()));
-    ExecutionTarget target;
     if (explicit_target_.has_value()) {
-      target = *explicit_target_;
+      if (*explicit_target_ == ExecutionTarget::kSmartSsd) {
+        device_task_.emplace(db_, &*bound_, start_, /*fallback=*/true,
+                             wait_for_grant_);
+      } else {
+        host_task_.emplace(db_, &*bound_, start_);
+      }
     } else {
-      PushdownPlanner planner(db_);
-      Result<PlanDecision> decision =
-          planner.Decide(*bound_, hints_, start_);
-      if (!decision.ok()) {
-        final_result_ = decision.status();
+      Result<PlacementDecision> placed =
+          DecidePlacement(db_, *bound_, hints_, db_->options().placement,
+                          start_, signals_);
+      if (!placed.ok()) {
+        final_result_ = placed.status();
         state_ = State::kDone;
         return {.at = start_, .finished = true};
       }
-      target = decision.value().target;
-    }
-    if (target == ExecutionTarget::kSmartSsd) {
-      device_task_.emplace(db_, &*bound_, start_, /*fallback=*/true,
-                           wait_for_grant_);
-    } else {
-      host_task_.emplace(db_, &*bound_, start_);
+      const PlacementDecision& decision = placed.value();
+      if (decision.split) {
+        split_task_.emplace(db_, &*bound_, decision.fragments, start_,
+                            wait_for_grant_);
+      } else if (decision.target == ExecutionTarget::kSmartSsd) {
+        device_task_.emplace(db_, &*bound_, start_, /*fallback=*/true,
+                             wait_for_grant_);
+      } else {
+        host_task_.emplace(db_, &*bound_, start_);
+      }
     }
     state_ = State::kRun;
     return {.at = start_};
   }
   SMARTSSD_CHECK(state_ == State::kRun);
-  StepOutcome outcome = host_task_.has_value() ? host_task_->Step()
-                                               : device_task_->Step();
+  StepOutcome outcome = host_task_.has_value()    ? host_task_->Step()
+                        : split_task_.has_value() ? split_task_->Step()
+                                                  : device_task_->Step();
   if (outcome.finished) state_ = State::kDone;
   return outcome;
 }

@@ -1,6 +1,7 @@
 #ifndef SMARTSSD_ENGINE_QUERY_TASK_H_
 #define SMARTSSD_ENGINE_QUERY_TASK_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "engine/database.h"
 #include "engine/executor.h"
+#include "engine/placement.h"
 #include "engine/planner.h"
 #include "exec/morsel.h"
 #include "exec/page_processor.h"
@@ -44,9 +46,22 @@ struct StepOutcome {
 // The conventional path (QueryExecutor::ExecuteOnHost) as a state
 // machine: join build one inner page per step, then scan one outer page
 // per step, then finalize. `bound` must outlive the task.
+//
+// Fragment mode (the scan-fragment refactor): the three-argument
+// constructor covers the whole outer table — the monolithic behavior,
+// byte-identical to the pre-fragment task. The six-argument form
+// restricts the scan to pages [first_page, first_page + page_count)
+// and, with `partial` set, reports a *partial* result for the split
+// coordinator: per-page OpCounts are charged exactly as the monolithic
+// path charges those pages, while the Finish() emission counts and the
+// per-query metrics bumps are left to the coordinator (which
+// re-synthesizes the canonical finish charge over the merged result).
 class HostQueryTask {
  public:
   HostQueryTask(Database* db, const exec::BoundQuery* bound, SimTime start);
+  HostQueryTask(Database* db, const exec::BoundQuery* bound, SimTime start,
+                std::uint64_t first_page, std::uint64_t page_count,
+                bool partial);
   ~HostQueryTask();
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(HostQueryTask);
 
@@ -81,11 +96,20 @@ class HostQueryTask {
   StepOutcome StepFinish();
   StepOutcome FailWith(const Status& error);
   void CloseSpanForError();
+  // True when this task runs a proper fragment (or partial) rather than
+  // the whole table; fragments always take the serial scan loop.
+  bool Fragmented() const;
 
   Database* db_;
   const exec::BoundQuery* bound_;
   SimTime start_;
   obs::Tracer* tracer_ = nullptr;
+
+  // Scan bounds over the outer table's page indices, clamped to the
+  // table in the constructor; [0, page_count) for monolithic tasks.
+  std::uint64_t scan_begin_ = 0;
+  std::uint64_t scan_end_ = 0;
+  bool partial_ = false;
 
   State state_ = State::kStart;
   QueryResult result_;
@@ -128,10 +152,19 @@ class HostQueryTask {
 // device traffic) instead of issuing an OPEN while the device's session
 // thread pool is empty; the blocking executor passes false and eats the
 // rejection, matching the old behavior.
+// Fragment mode mirrors HostQueryTask: the six-extra-argument form
+// restricts the pushdown program to the fragment's page range (extent
+// announcement, pruning, and zone-check charge all fragment-scoped),
+// reports body-only OpCounts with `partial` set, and re-runs only its
+// own fragment on host fallback.
 class DeviceQueryTask {
  public:
   DeviceQueryTask(Database* db, const exec::BoundQuery* bound,
                   SimTime start, bool fallback, bool wait_for_grant);
+  DeviceQueryTask(Database* db, const exec::BoundQuery* bound,
+                  SimTime start, bool fallback, bool wait_for_grant,
+                  std::uint64_t first_page, std::uint64_t page_count,
+                  bool partial);
   ~DeviceQueryTask();
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(DeviceQueryTask);
 
@@ -160,6 +193,11 @@ class DeviceQueryTask {
   SimTime start_;
   bool fallback_;
   bool wait_for_grant_;
+  // Fragment range over the outer table (defaults cover it whole) and
+  // the partial-result flag; see the class comment.
+  std::uint64_t frag_first_ = 0;
+  std::uint64_t frag_pages_ = ~0ull;
+  bool partial_ = false;
   obs::Tracer* tracer_ = nullptr;
 
   State state_ = State::kStart;
@@ -190,18 +228,69 @@ class DeviceQueryTask {
   std::optional<HostQueryTask> host_rerun_;
 };
 
-// A whole submitted query: binds the spec, picks the target (explicit,
-// or the pushdown planner when constructed with hints), and delegates to
-// the host or device task. This is the unit the workload scheduler
-// drives. `spec` must outlive the task (keep specs at stable addresses).
+// A split scan: the query's page range partitioned into ScanFragments,
+// each run by its own host/device task in partial mode, concurrently on
+// the virtual timeline. One Step() advances the earliest-ready
+// unfinished fragment by one step (lowest fragment index breaks ties),
+// so fragments interleave on the shared resources exactly as two
+// independently scheduled queries would. When all fragments finish,
+// partials merge in fixed fragment order through engine/partial_merge,
+// and the coordinator charges the canonical finish emission (what the
+// monolithic path's Finish() charges for the merged output) exactly
+// once — total OpCounts equal the monolithic run's byte-for-byte.
+class SplitScanTask {
+ public:
+  SplitScanTask(Database* db, const exec::BoundQuery* bound,
+                const std::vector<ScanFragment>& fragments, SimTime start,
+                bool wait_for_grant);
+  SMARTSSD_DISALLOW_COPY_AND_ASSIGN(SplitScanTask);
+
+  StepOutcome Step();
+  bool finished() const { return done_; }
+
+  Result<QueryResult> TakeResult();
+
+ private:
+  struct Fragment {
+    ScanFragment placement;
+    // Exactly one engaged, by placement.target.
+    std::optional<HostQueryTask> host;
+    std::optional<DeviceQueryTask> device;
+    SimTime ready = 0;
+    bool parked = false;  // waiting for a device session grant
+    bool done = false;
+    std::optional<Result<QueryResult>> result;
+  };
+
+  StepOutcome StepFragment(Fragment& fragment);
+  StepOutcome Merge();
+
+  Database* db_;
+  const exec::BoundQuery* bound_;
+  SimTime start_;
+  StageBreakdown stage_before_;
+  std::deque<Fragment> fragments_;  // deque: tasks are immovable
+  bool done_ = false;
+  SimTime end_ = 0;
+  std::optional<Result<QueryResult>> final_result_;
+};
+
+// A whole submitted query: binds the spec, picks the placement (an
+// explicit target, or the database's placement policy — possibly a
+// split across both sides), and delegates to the host, device, or
+// split-scan task. This is the unit the workload scheduler drives.
+// `spec` must outlive the task (keep specs at stable addresses);
+// `signals` (optional) gives the adaptive policy its live scheduler
+// view and must outlive the task too.
 class QueryTask {
  public:
   // Explicit target, as QueryExecutor::Execute.
   QueryTask(Database* db, const exec::QuerySpec* spec,
             ExecutionTarget target, SimTime start, bool wait_for_grant);
-  // Planner-chosen target, as QueryExecutor::ExecuteAuto.
+  // Policy-chosen placement, as QueryExecutor::ExecuteAuto.
   QueryTask(Database* db, const exec::QuerySpec* spec,
-            const PlanHints& hints, SimTime start, bool wait_for_grant);
+            const PlanHints& hints, SimTime start, bool wait_for_grant,
+            const SignalSource* signals = nullptr);
   SMARTSSD_DISALLOW_COPY_AND_ASSIGN(QueryTask);
 
   StepOutcome Step();
@@ -220,11 +309,13 @@ class QueryTask {
   bool wait_for_grant_;
   std::optional<ExecutionTarget> explicit_target_;
   PlanHints hints_;
+  const SignalSource* signals_ = nullptr;
 
   State state_ = State::kPlan;
   std::optional<exec::BoundQuery> bound_;
   std::optional<HostQueryTask> host_task_;
   std::optional<DeviceQueryTask> device_task_;
+  std::optional<SplitScanTask> split_task_;
   std::optional<Result<QueryResult>> final_result_;
 };
 

@@ -91,7 +91,13 @@ struct WorkloadOptions {
 // Per-query latency lands in workload.latency_ns (plus a per-target
 // breakdown) and queue wait in workload.queue_wait_ns; each client gets
 // a tracer lane under the "workload" process with one span per query.
-class WorkloadScheduler {
+//
+// The scheduler is the SignalSource for adaptive placement: policies
+// read the in-flight count, admission-queue depth, and the
+// workload.queue_wait_ns histogram snapshot at each query's admission
+// time — all virtual-clock-deterministic, so a fixed arrival trace
+// yields byte-identical routing run-to-run.
+class WorkloadScheduler : public SignalSource {
  public:
   explicit WorkloadScheduler(Database* db,
                              const WorkloadOptions& options = {});
@@ -135,6 +141,9 @@ class WorkloadScheduler {
   SimTime now() const { return clock_.now(); }
   int peak_in_flight() const { return peak_in_flight_; }
   std::uint64_t peak_queue_depth() const { return peak_queue_depth_; }
+
+  // Live load signals for placement policies (engine/placement.h).
+  LiveSignals Signals() const override;
 
  private:
   struct Source {

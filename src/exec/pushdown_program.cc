@@ -8,13 +8,20 @@ PushdownProgram::PushdownProgram(const BoundQuery* bound,
                                  const storage::ZoneMap* zone_map,
                                  KernelMode kernel,
                                  const HybridJoinConfig& spill,
-                                 std::uint32_t spill_page_size_hint)
+                                 std::uint32_t spill_page_size_hint,
+                                 std::uint64_t first_page,
+                                 std::uint64_t page_count)
     : bound_(bound),
       outer_params_(EmbeddedCostParams(bound->outer->layout)),
       zone_map_(zone_map),
       kernel_(kernel),
       spill_(spill),
       spill_page_size_hint_(spill_page_size_hint) {
+  const std::uint64_t table_pages = bound->outer->page_count;
+  scan_begin_ = std::min(first_page, table_pages);
+  scan_end_ = page_count >= table_pages - scan_begin_
+                  ? table_pages
+                  : scan_begin_ + page_count;
   if (zone_map_ != nullptr) {
     // Only outer-column ranges are usable for extent pruning.
     for (auto& [col, range] :
@@ -158,8 +165,9 @@ Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
   }
   if (!prune_ranges_.empty()) {
     // Extent filtering against the zone map: a couple of cycles per
-    // page entry on one embedded core.
-    done = device.Execute(bound_->outer->page_count * 2, done);
+    // page entry on one embedded core. Fragments only check their own
+    // range, so per-fragment charges sum to the monolithic charge.
+    done = device.Execute((scan_end_ - scan_begin_) * 2, done);
   }
   processor_ = std::make_unique<PageProcessor>(
       bound_, hash_table_.has_value() ? &*hash_table_ : nullptr, kernel_,
@@ -169,7 +177,7 @@ Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
   // prune ranges the inner loop is empty and every page survives.
   input_pages_.clear();
   next_input_page_ = 0;
-  for (std::uint64_t p = 0; p < bound_->outer->page_count; ++p) {
+  for (std::uint64_t p = scan_begin_; p < scan_end_; ++p) {
     bool may_match = true;
     for (const auto& [col, range] : prune_ranges_) {
       if (!zone_map_->PageMayMatch(p, col, range.lo, range.hi)) {
@@ -185,14 +193,15 @@ Result<SimTime> PushdownProgram::Open(smart::DeviceServices& device,
 
 std::vector<smart::LpnRange> PushdownProgram::InputExtents() const {
   const storage::TableInfo& outer = *bound_->outer;
+  if (scan_end_ <= scan_begin_) return {};
   if (prune_ranges_.empty()) {
-    return {{outer.first_lpn, outer.page_count}};
+    return {{outer.first_lpn + scan_begin_, scan_end_ - scan_begin_}};
   }
   // Zone-map pruning: stream only pages whose per-column [min, max]
   // intersects every predicate range, as coalesced runs.
   pages_skipped_ = 0;  // recomputed on every call
   std::vector<smart::LpnRange> extents;
-  for (std::uint64_t p = 0; p < outer.page_count; ++p) {
+  for (std::uint64_t p = scan_begin_; p < scan_end_; ++p) {
     bool may_match = true;
     for (const auto& [col, range] : prune_ranges_) {
       if (!zone_map_->PageMayMatch(p, col, range.lo, range.hi)) {
@@ -236,6 +245,23 @@ Result<smart::ProgramCharge> PushdownProgram::ProcessPage(
                 SpillOverheadCycles()};
 }
 
+OpCounts PushdownProgram::CountsExcludingFinish() const {
+  // OpCounts has no operator-: subtract the scalar fields directly.
+  // Finish() of the non-hybrid pipelines (the only ones fragments run)
+  // never records EvalStats, so `eval` carries over untouched.
+  OpCounts body = counts_;
+  body.pages -= finish_counts_.pages;
+  body.tuples -= finish_counts_.tuples;
+  body.probes -= finish_counts_.probes;
+  body.hash_inserts -= finish_counts_.hash_inserts;
+  body.output_tuples -= finish_counts_.output_tuples;
+  body.output_bytes -= finish_counts_.output_bytes;
+  body.agg_updates -= finish_counts_.agg_updates;
+  body.group_updates -= finish_counts_.group_updates;
+  body.topn_updates -= finish_counts_.topn_updates;
+  return body;
+}
+
 Result<smart::ProgramCharge> PushdownProgram::Finish(
     smart::ResultSink& sink) {
   SMARTSSD_CHECK(processor_ != nullptr);
@@ -244,6 +270,7 @@ Result<smart::ProgramCharge> PushdownProgram::Finish(
   SMARTSSD_RETURN_IF_ERROR(processor_->Finish(&final_counts, &scratch_));
   if (!scratch_.empty()) sink.Emit(scratch_);
   counts_ += final_counts;
+  finish_counts_ += final_counts;
   NotePeak();
   return smart::ProgramCharge{
       .cycles = Cycles(final_counts, outer_params_,

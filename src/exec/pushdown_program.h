@@ -40,11 +40,19 @@ class PushdownProgram final : public smart::InSsdProgram {
   // 0 keeps the unconstrained build. `spill_page_size_hint` sizes the
   // pre-OPEN DRAM estimate for the spill buffers (the join itself uses
   // the device's real page size).
+  //
+  // `first_page` / `page_count` restrict the program to a fragment of
+  // the outer table's pages — the device half of a split scan. The
+  // defaults cover the whole table, which is the monolithic behaviour:
+  // extent announcement, pruning walk, and zone-check charge all stay
+  // byte-identical to a program built without a fragment range.
   explicit PushdownProgram(const BoundQuery* bound,
                            const storage::ZoneMap* zone_map = nullptr,
                            KernelMode kernel = KernelMode::kVectorized,
                            const HybridJoinConfig& spill = {},
-                           std::uint32_t spill_page_size_hint = 8192);
+                           std::uint32_t spill_page_size_hint = 8192,
+                           std::uint64_t first_page = 0,
+                           std::uint64_t page_count = ~0ull);
 
   std::string_view name() const override;
 
@@ -62,6 +70,15 @@ class PushdownProgram final : public smart::InSsdProgram {
 
   // Total counts, for inspection/EXPERIMENTS reporting.
   const OpCounts& counts() const { return counts_; }
+  // The portion of counts() charged by Finish()'s output emission.
+  // Fragment (partial) runs report counts() minus this, so the split
+  // coordinator can synthesize the canonical monolithic finish charge
+  // over the merged result exactly once.
+  const OpCounts& finish_counts() const { return finish_counts_; }
+  // counts() with the Finish() emission charge removed. Only valid for
+  // non-hybrid-join programs (split scans never run joins): plain
+  // Finish() touches the scalar OpCounts fields, not EvalStats.
+  OpCounts CountsExcludingFinish() const;
   const std::vector<std::int64_t>& agg_state() const {
     return processor_->agg_state();
   }
@@ -104,11 +121,16 @@ class PushdownProgram final : public smart::InSsdProgram {
   // tied back to its zone-map entry for the batch-skip fast paths.
   std::vector<std::uint64_t> input_pages_;
   std::size_t next_input_page_ = 0;
+  // Fragment bounds over the outer table's page indices, clamped to the
+  // table in the constructor. Monolithic programs cover [0, page_count).
+  std::uint64_t scan_begin_ = 0;
+  std::uint64_t scan_end_ = 0;
   mutable std::uint64_t pages_skipped_ = 0;
   std::optional<JoinHashTable> hash_table_;
   std::unique_ptr<HybridJoin> hybrid_;
   std::unique_ptr<PageProcessor> processor_;
   OpCounts counts_;
+  OpCounts finish_counts_;
   std::vector<std::byte> scratch_;
   std::uint64_t dram_peak_ = 0;
 };

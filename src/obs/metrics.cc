@@ -165,6 +165,48 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
   return it->second.get();
 }
 
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name,
+                                         std::int64_t fallback) const {
+  const Gauge* g = FindGauge(name);
+  return g == nullptr ? fallback : g->value();
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotHistogram(
+    std::string_view name) const {
+  HistogramSnapshot snap;
+  const Histogram* h = FindHistogram(name);
+  if (h == nullptr || h->count() == 0) return snap;
+  snap.count = h->count();
+  snap.sum = h->sum();
+  snap.min = h->min();
+  snap.max = h->max();
+  snap.p50 = h->p50();
+  snap.p95 = h->p95();
+  snap.p99 = h->p99();
+  return snap;
+}
+
 void MetricsRegistry::PrintText(std::FILE* out) const {
   for (const auto& [name, c] : counters_) {
     std::fprintf(out, "counter %s %" PRIu64 "\n", name.c_str(), c->value());

@@ -100,6 +100,20 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+// Point-in-time summary of a histogram, cheap to copy and safe to hand
+// to code (placement policies, schedulers) that must not mutate or even
+// register instruments. All fields are zero for an absent or empty
+// histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
 // Registry of named instruments. Lookup is registration: the first
 // counter("x") creates it, every later call returns the same pointer,
 // which stays valid for the registry's lifetime. Iteration order is the
@@ -112,6 +126,22 @@ class MetricsRegistry {
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
+
+  // Read-side lookups: never register, so a policy consulting a signal
+  // that no module has emitted yet sees "absent" instead of minting an
+  // empty instrument (which would perturb exports). Return nullptr when
+  // the name is unknown.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // Value-level conveniences over the Find* lookups. GaugeValue returns
+  // `fallback` when the gauge is absent; SnapshotHistogram returns an
+  // all-zero snapshot when the histogram is absent or empty.
+  std::int64_t GaugeValue(std::string_view name,
+                          std::int64_t fallback = 0) const;
+  std::uint64_t CounterValue(std::string_view name) const;
+  HistogramSnapshot SnapshotHistogram(std::string_view name) const;
 
   // Flat exports: one line ("name value" / histogram summary) per
   // instrument, and a single JSON object with "counters" / "gauges" /

@@ -89,12 +89,13 @@ TEST(DifferentialReplay, FaultsOffStillCoversTheMatrix) {
   const check::HarnessReport report = check::RunDifferentialSeed(1, options);
   EXPECT_TRUE(report.ok()) << report.Summary();
   // ref (scalar + vectorized twin, plus a scalar-ISA re-run of the twin
-  // on machines whose best kernel ISA uses SIMD lanes) + 6 single
-  // configs (incl. the two hybrid-join spill budgets) + 3 parallel
-  // configs + 2 fleet configs + 4 write-path GC configs per spec.
+  // on machines whose best kernel ISA uses SIMD lanes) + 8 single
+  // configs (incl. the two hybrid-join spill budgets and the split/
+  // adaptive placement-policy configs) + 3 parallel configs + 2 fleet
+  // configs + 4 write-path GC configs per spec.
   const int isa_axis =
       expr::DetectKernelIsa() != expr::KernelIsa::kScalarIsa ? 1 : 0;
-  EXPECT_EQ(report.executions, 2 * (17 + isa_axis));
+  EXPECT_EQ(report.executions, 2 * (19 + isa_axis));
 }
 
 TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
@@ -106,7 +107,7 @@ TEST(DifferentialReplay, WritePhaseOffShrinksTheMatrix) {
   EXPECT_TRUE(report.ok()) << report.Summary();
   const int isa_axis =
       expr::DetectKernelIsa() != expr::KernelIsa::kScalarIsa ? 1 : 0;
-  EXPECT_EQ(report.executions, 2 * (13 + isa_axis));
+  EXPECT_EQ(report.executions, 2 * (15 + isa_axis));
 }
 
 }  // namespace

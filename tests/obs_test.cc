@@ -172,6 +172,48 @@ TEST(MetricsRegistryTest, LookupIsRegistrationWithStablePointers) {
   EXPECT_EQ(registry.histogram("lat")->count(), 0u);
 }
 
+// The read side never registers: placement policies (and any other
+// consumer) can probe instruments by name without minting empty ones.
+TEST(MetricsRegistryTest, ReadSideLookupsNeverRegister) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("nope"), nullptr);
+  EXPECT_EQ(registry.FindGauge("nope"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+  EXPECT_EQ(registry.CounterValue("nope"), 0u);
+  EXPECT_EQ(registry.GaugeValue("nope", /*fallback=*/-7), -7);
+  const obs::HistogramSnapshot absent = registry.SnapshotHistogram("nope");
+  EXPECT_EQ(absent.count, 0u);
+  EXPECT_EQ(absent.p95, 0.0);
+  EXPECT_EQ(registry.size(), 0u);
+
+  registry.counter("hits")->Add(4);
+  registry.gauge("depth")->Set(9);
+  EXPECT_EQ(registry.CounterValue("hits"), 4u);
+  EXPECT_EQ(registry.GaugeValue("depth", -1), 9);
+  EXPECT_EQ(registry.FindCounter("hits"), registry.counter("hits"));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotMatchesInstrument) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("wait");
+  // An existing-but-empty histogram also reads as the zero snapshot.
+  EXPECT_EQ(registry.SnapshotHistogram("wait").count, 0u);
+  for (int v : {10, 20, 30, 40, 1000}) h->Record(v);
+
+  const obs::HistogramSnapshot snap = registry.SnapshotHistogram("wait");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1100u);
+  EXPECT_EQ(snap.min, 10u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.p50, h->p50());
+  EXPECT_EQ(snap.p95, h->p95());
+  EXPECT_EQ(snap.p99, h->p99());
+  // Percentiles come back ordered, as the instrument promises.
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
 // --- End-to-end properties over a real Q6 run -------------------------
 
 constexpr double kSf = 0.002;  // 12k LINEITEM rows
